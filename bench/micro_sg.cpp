@@ -1,0 +1,87 @@
+// Microbenchmarks of the state-graph substrate: reachability + coding,
+// CSC analysis, projection (the ε-merge at the heart of the partitioning)
+// and expansion.
+#include <benchmark/benchmark.h>
+
+#include "mps.hpp"
+
+namespace {
+
+using namespace mps;
+
+void BM_StateGraphFromStg(benchmark::State& state) {
+  const auto stg =
+      benchmarks::gen_parallelizer("par", static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto g = sg::StateGraph::from_stg(stg);
+    benchmark::DoNotOptimize(g.num_states());
+  }
+  state.counters["states"] =
+      static_cast<double>(sg::StateGraph::from_stg(stg).num_states());
+}
+BENCHMARK(BM_StateGraphFromStg)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_AnalyzeCsc(benchmark::State& state, const char* name) {
+  const auto g =
+      sg::StateGraph::from_stg(benchmarks::find_benchmark(name)->make());
+  for (auto _ : state) {
+    const auto a = sg::analyze_csc(g);
+    benchmark::DoNotOptimize(a.conflicts.size());
+  }
+}
+BENCHMARK_CAPTURE(BM_AnalyzeCsc, mmu1, "mmu1");
+BENCHMARK_CAPTURE(BM_AnalyzeCsc, mmu0, "mmu0");
+BENCHMARK_CAPTURE(BM_AnalyzeCsc, mr0, "mr0");
+
+void BM_HideSignals(benchmark::State& state, const char* name) {
+  const auto g =
+      sg::StateGraph::from_stg(benchmarks::find_benchmark(name)->make());
+  util::BitVec hide(g.num_signals());
+  for (sg::SignalId s = 1; s < g.num_signals(); s += 2) hide.set(s);
+  for (auto _ : state) {
+    const auto proj = sg::hide_signals(g, hide);
+    benchmark::DoNotOptimize(proj.graph.num_states());
+  }
+}
+BENCHMARK_CAPTURE(BM_HideSignals, mmu0, "mmu0");
+BENCHMARK_CAPTURE(BM_HideSignals, mr0, "mr0");
+
+void BM_DetermineInputSet(benchmark::State& state, const char* name) {
+  const auto g =
+      sg::StateGraph::from_stg(benchmarks::find_benchmark(name)->make());
+  sg::Assignments none(g.num_states());
+  sg::SignalId o = 0;
+  while (g.is_input(o)) ++o;
+  for (auto _ : state) {
+    const auto isr = core::determine_input_set(g, o, none);
+    benchmark::DoNotOptimize(isr.kept.count());
+  }
+}
+BENCHMARK_CAPTURE(BM_DetermineInputSet, mmu1, "mmu1");
+BENCHMARK_CAPTURE(BM_DetermineInputSet, mmu0, "mmu0");
+
+void BM_FullModularSynthesis(benchmark::State& state, const char* name) {
+  const auto g =
+      sg::StateGraph::from_stg(benchmarks::find_benchmark(name)->make());
+  core::SynthesisOptions opts;
+  opts.derive_logic = false;  // isolate the partitioning + expansion cost
+  for (auto _ : state) {
+    const auto r = core::modular_synthesis(g, opts);
+    benchmark::DoNotOptimize(r.final_states);
+  }
+}
+BENCHMARK_CAPTURE(BM_FullModularSynthesis, mmu1, "mmu1");
+BENCHMARK_CAPTURE(BM_FullModularSynthesis, nak_pa, "nak-pa");
+
+void BM_SemiModularityCheck(benchmark::State& state, const char* name) {
+  const auto g =
+      sg::StateGraph::from_stg(benchmarks::find_benchmark(name)->make());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sg::semi_modularity_violations(g).size());
+  }
+}
+BENCHMARK_CAPTURE(BM_SemiModularityCheck, mr0, "mr0");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,172 @@
+// mps_synth: a command-line synthesis driver — the shape of tool a
+// downstream user actually runs.
+//
+//   mps_synth <spec.g> [options]
+//     --method modular|direct|lavagno   (default modular)
+//     --out-g <file>      write the CSC-satisfying STG state graph as .g-like dump
+//     --out-pla <prefix>  write one PLA per non-input signal to <prefix><name>.pla
+//     --dimacs <file>     export the direct CSC SAT instance
+//     --quiet             only the summary line
+//
+// With no arguments it synthesizes a built-in demo specification.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "mps.hpp"
+
+namespace {
+
+using namespace mps;
+
+int usage() {
+  std::printf(
+      "usage: mps_synth <spec.g> [--method modular|direct|lavagno]\n"
+      "                 [--out-pla <prefix>] [--dimacs <file>] [--quiet]\n"
+      "       mps_synth --bench <name>   (use a built-in Table-1 benchmark)\n");
+  return 2;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string bench_name;
+  std::string method = "modular";
+  std::string pla_prefix;
+  std::string dimacs_path;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--method") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      method = v;
+    } else if (arg == "--bench") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      bench_name = v;
+    } else if (arg == "--out-pla") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      pla_prefix = v;
+    } else if (arg == "--dimacs") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      dimacs_path = v;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else {
+      spec_path = arg;
+    }
+  }
+
+  try {
+    stg::Stg spec = [&] {
+      if (!bench_name.empty()) {
+        const auto* b = benchmarks::find_benchmark(bench_name);
+        if (b == nullptr) throw util::Error("unknown benchmark: " + bench_name);
+        return b->make();
+      }
+      if (!spec_path.empty()) return stg::parse_g_file(spec_path);
+      // Demo: a one-bank memory controller with a data strobe.
+      return stg::Builder("demo")
+          .inputs({"req", "a0"})
+          .outputs({"ack", "r0", "d"})
+          .path("req+", "r0+", "a0+", "r0-", "a0-")
+          .path("a0-", "d+", "d-", "ack+", "req-", "ack-")
+          .arc("ack-", "req+")
+          .token("ack-", "req+")
+          .build();
+    }();
+
+    if (!quiet) {
+      std::printf("%s: %zu signals, %zu transitions, method=%s\n", spec.name().c_str(),
+                  spec.num_signals(), spec.net().num_transitions(), method.c_str());
+    }
+
+    const sg::StateGraph g = sg::StateGraph::from_stg(spec);
+    sg::StateGraph final_graph;
+    std::vector<std::pair<std::string, logic::Cover>> covers;
+    std::size_t literals = 0;
+    double seconds = 0;
+    bool ok = false;
+    std::string failure;
+
+    if (method == "modular") {
+      auto r = core::modular_synthesis(g);
+      ok = r.success;
+      failure = r.failure_reason;
+      final_graph = std::move(r.final_graph);
+      covers = std::move(r.covers);
+      literals = r.total_literals;
+      seconds = r.seconds;
+    } else if (method == "direct") {
+      baseline::DirectOptions opts;
+      opts.solve.max_backtracks = 5'000'000;
+      opts.solve.time_limit_s = 120.0;
+      auto r = baseline::direct_synthesis(g, opts);
+      ok = r.success;
+      failure = r.failure_reason;
+      final_graph = std::move(r.final_graph);
+      covers = std::move(r.covers);
+      literals = r.total_literals;
+      seconds = r.seconds;
+    } else if (method == "lavagno") {
+      baseline::LavagnoOptions opts;
+      opts.time_limit_s = 300.0;
+      auto r = baseline::lavagno_synthesis(g, opts);
+      ok = r.success;
+      failure = r.failure_reason;
+      final_graph = std::move(r.final_graph);
+      covers = std::move(r.covers);
+      literals = r.total_literals;
+      seconds = r.seconds;
+    } else {
+      return usage();
+    }
+
+    if (!ok) {
+      std::printf("FAILED: %s\n", failure.c_str());
+      return 1;
+    }
+    const auto report = verify::verify_synthesis(final_graph, covers);
+    std::printf("%s: ok, %zu -> %zu states, %zu -> %zu signals, %zu literals, %.3fs, "
+                "verification %s\n",
+                spec.name().c_str(), g.num_states(), final_graph.num_states(),
+                g.num_signals(), final_graph.num_signals(), literals, seconds,
+                report.ok() ? "passed" : "FAILED");
+    if (!report.ok()) {
+      for (const auto& issue : report.issues) std::printf("  issue: %s\n", issue.c_str());
+    }
+
+    if (!pla_prefix.empty()) {
+      std::vector<std::string> names;
+      for (sg::SignalId s = 0; s < final_graph.num_signals(); ++s) {
+        names.push_back(final_graph.signal(s).name);
+      }
+      for (const auto& [name, cover] : covers) {
+        write_file(pla_prefix + name + ".pla", logic::write_pla(cover, names));
+      }
+    }
+    if (!dimacs_path.empty()) {
+      const auto enc = encoding::encode_csc(g, 1);
+      write_file(dimacs_path, sat::write_dimacs(enc.cnf(), "CSC of " + spec.name()));
+    }
+    return report.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::printf("error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,51 @@
+// A Lavagno/Moon-style monolithic baseline [13], reconstructed: state
+// signals are inserted one at a time at the level of the *complete* state
+// graph (no decomposition), each insertion targeting the currently worst
+// code-equal conflict class, with the graph re-expanded and re-analysed
+// after every insertion.  This reproduces the cost profile of the original
+// (whole-graph manipulation per inserted signal, repeated global
+// re-analysis) without its FSM state-minimization machinery — see
+// DESIGN.md's substitution table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/synthesis.hpp"
+#include "logic/minimize.hpp"
+#include "sg/state_graph.hpp"
+
+namespace mps::baseline {
+
+struct LavagnoOptions {
+  sat::SolveOptions solve;
+  logic::MinimizeOptions minimize;
+  encoding::EncodeOptions encode;
+  int max_insertions = 64;
+  /// Signals tried for one conflict class before giving up.
+  std::size_t max_signals_per_class = 4;
+  double time_limit_s = 0.0;  ///< overall wall-clock budget; <=0 = unlimited
+  bool derive_logic = true;
+};
+
+struct LavagnoResult {
+  bool success = false;
+  bool hit_limit = false;
+  std::string failure_reason;
+
+  std::size_t initial_states = 0;
+  std::size_t initial_signals = 0;
+  std::size_t final_states = 0;
+  std::size_t final_signals = 0;
+  std::size_t total_literals = 0;
+  int insertions = 0;
+
+  sg::StateGraph final_graph;
+  std::vector<std::pair<std::string, logic::Cover>> covers;
+  double seconds = 0.0;
+};
+
+LavagnoResult lavagno_synthesis(const sg::StateGraph& g, const LavagnoOptions& opts = {});
+LavagnoResult lavagno_synthesis(const stg::Stg& stg, const LavagnoOptions& opts = {});
+
+}  // namespace mps::baseline

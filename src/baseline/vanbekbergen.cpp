@@ -1,0 +1,93 @@
+#include "baseline/vanbekbergen.hpp"
+
+#include <algorithm>
+
+#include "sg/csc.hpp"
+#include "sg/expand.hpp"
+#include "sg/projection.hpp"
+#include "util/common.hpp"
+
+namespace mps::baseline {
+
+DirectResult direct_synthesis(const sg::StateGraph& input, const DirectOptions& opts) {
+  util::Timer timer;
+  DirectResult result;
+
+  sg::StateGraph g = input;
+  result.initial_states = g.num_states();
+  result.initial_signals = g.num_signals();
+
+  for (int round = 1; round <= opts.max_rounds; ++round) {
+    const auto analysis = sg::analyze_csc(g);
+    if (analysis.satisfied()) break;
+    result.rounds = round;
+
+    sg::Assignments assigns(g.num_states());
+    bool solved = false;
+    std::size_t m = static_cast<std::size_t>(std::max(1, analysis.lower_bound));
+    for (; m <= opts.max_new_signals; ++m) {
+      const encoding::Encoding enc(g, m, analysis.conflicts, analysis.compatible_pairs,
+                                   opts.encode);
+      core::FormulaStat stat;
+      stat.num_new_signals = m;
+      stat.num_vars = enc.cnf().num_vars();
+      stat.num_clauses = enc.cnf().num_clauses();
+
+      util::Timer attempt;
+      sat::Model model;
+      sat::SolveStats sstats;
+      const sat::Outcome outcome = sat::Solver().solve(enc.cnf(), &model, &sstats, opts.solve);
+      stat.outcome = outcome;
+      stat.backtracks = sstats.backtracks;
+      stat.seconds = attempt.seconds();
+      result.formulas.push_back(stat);
+
+      if (outcome == sat::Outcome::Limit) {
+        result.hit_limit = true;
+        result.failure_reason = "SAT backtrack/time limit on the direct formula";
+        result.final_states = g.num_states();
+        result.final_signals = g.num_signals();
+        result.final_graph = std::move(g);
+        result.seconds = timer.seconds();
+        return result;
+      }
+      if (outcome == sat::Outcome::Sat) {
+        enc.decode(model, &assigns, "csc" + std::to_string(g.num_signals()) + "_");
+        solved = true;
+        break;
+      }
+    }
+    if (!solved) {
+      result.failure_reason = "no assignment within the state-signal bound";
+      break;
+    }
+    g = sg::expand(g, assigns).graph;
+  }
+
+  const auto final_analysis = sg::analyze_csc(g);
+  result.success = final_analysis.satisfied();
+  result.final_states = g.num_states();
+  result.final_signals = g.num_signals();
+  result.final_graph = std::move(g);
+  if (result.success && opts.derive_logic) {
+    result.total_literals =
+        core::derive_all_logic(result.final_graph, opts.minimize, &result.covers);
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+DirectResult direct_synthesis(const stg::Stg& stg, const DirectOptions& opts) {
+  sg::StateGraph g = sg::StateGraph::from_stg(stg);
+  // Mirror the modular flow's handling of dummy transitions.
+  bool silent = false;
+  for (sg::StateId s = 0; s < g.num_states() && !silent; ++s) {
+    for (const sg::Edge& e : g.out(s)) {
+      if (e.is_silent()) silent = true;
+    }
+  }
+  if (silent) g = sg::contract_silent(g);
+  return direct_synthesis(g, opts);
+}
+
+}  // namespace mps::baseline

@@ -1,0 +1,50 @@
+// The direct (no-decomposition) baseline: Vanbekbergen et al.'s generalized
+// state assignment [22], reconstructed.  One SAT formula over the complete
+// state graph encodes all consistency, semi-modularity and CSC constraints
+// for m state signals; m starts at the lower bound and grows until
+// satisfiable.  This is the method whose formulas reach tens of thousands
+// of clauses (mmu0: 35,386 in the paper) and whose search hits the
+// backtrack limit on the large Table-1 entries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/partition_sat.hpp"
+#include "core/synthesis.hpp"
+#include "logic/minimize.hpp"
+#include "sg/state_graph.hpp"
+
+namespace mps::baseline {
+
+struct DirectOptions {
+  encoding::EncodeOptions encode;
+  sat::SolveOptions solve;          ///< set max_backtracks/time_limit_s for Table-1 runs
+  logic::MinimizeOptions minimize;
+  std::size_t max_new_signals = 10;
+  int max_rounds = 6;
+  bool derive_logic = true;
+};
+
+struct DirectResult {
+  bool success = false;
+  bool hit_limit = false;  ///< the paper's "SAT Backtrack Limit" outcome
+  std::string failure_reason;
+
+  std::size_t initial_states = 0;
+  std::size_t initial_signals = 0;
+  std::size_t final_states = 0;
+  std::size_t final_signals = 0;
+  std::size_t total_literals = 0;
+
+  sg::StateGraph final_graph;
+  std::vector<std::pair<std::string, logic::Cover>> covers;
+  std::vector<core::FormulaStat> formulas;
+  int rounds = 0;
+  double seconds = 0.0;
+};
+
+DirectResult direct_synthesis(const sg::StateGraph& g, const DirectOptions& opts = {});
+DirectResult direct_synthesis(const stg::Stg& stg, const DirectOptions& opts = {});
+
+}  // namespace mps::baseline

@@ -1,0 +1,164 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace mps::bdd {
+
+namespace {
+constexpr std::uint32_t kTerminalVar = 0xFFFFFFFFu;
+}
+
+Manager::Manager(std::size_t num_vars) : num_vars_(num_vars) {
+  nodes_.push_back({kTerminalVar, kFalse, kFalse});  // 0 = false
+  nodes_.push_back({kTerminalVar, kTrue, kTrue});    // 1 = true
+}
+
+NodeId Manager::make(std::uint32_t v, NodeId low, NodeId high) {
+  if (low == high) return low;  // reduction rule
+  const Key key{v, low, high};
+  if (const auto it = unique_.find(key); it != unique_.end()) return it->second;
+  nodes_.push_back({v, low, high});
+  const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
+  unique_.emplace(key, id);
+  return id;
+}
+
+NodeId Manager::var(std::uint32_t v) {
+  MPS_ASSERT(v < num_vars_);
+  return make(v, kFalse, kTrue);
+}
+
+NodeId Manager::nvar(std::uint32_t v) {
+  MPS_ASSERT(v < num_vars_);
+  return make(v, kTrue, kFalse);
+}
+
+NodeId Manager::top_var(NodeId f, NodeId g, NodeId h) const {
+  std::uint32_t top = kTerminalVar;
+  for (const NodeId x : {f, g, h}) {
+    if (x > kTrue) top = std::min(top, nodes_[x].var);
+  }
+  return top;
+}
+
+NodeId Manager::ite(NodeId f, NodeId g, NodeId h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const IteKey key{f, g, h};
+  if (const auto it = ite_cache_.find(key); it != ite_cache_.end()) return it->second;
+
+  const std::uint32_t v = top_var(f, g, h);
+  auto cof = [&](NodeId x, bool value) -> NodeId {
+    if (x <= kTrue || nodes_[x].var != v) return x;
+    return value ? nodes_[x].high : nodes_[x].low;
+  };
+  const NodeId low = ite(cof(f, false), cof(g, false), cof(h, false));
+  const NodeId high = ite(cof(f, true), cof(g, true), cof(h, true));
+  const NodeId result = make(v, low, high);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+NodeId Manager::restrict(NodeId f, std::uint32_t v, bool value) {
+  if (f <= kTrue) return f;
+  const Node n = nodes_[f];
+  if (n.var > v && n.var != kTerminalVar) return f;   // ordered: v not in support
+  if (n.var == v) return value ? n.high : n.low;
+  const NodeId low = restrict(n.low, v, value);
+  const NodeId high = restrict(n.high, v, value);
+  return make(n.var, low, high);
+}
+
+NodeId Manager::exists(NodeId f, std::uint32_t v) {
+  return bdd_or(restrict(f, v, false), restrict(f, v, true));
+}
+
+NodeId Manager::forall(NodeId f, std::uint32_t v) {
+  return bdd_and(restrict(f, v, false), restrict(f, v, true));
+}
+
+bool Manager::eval(NodeId f, const util::BitVec& assignment) const {
+  MPS_ASSERT(assignment.size() >= num_vars_);
+  while (f > kTrue) {
+    const Node& n = nodes_[f];
+    f = assignment.test(n.var) ? n.high : n.low;
+  }
+  return f == kTrue;
+}
+
+double Manager::sat_count(NodeId f) const {
+  // Memoized count of assignments below each node, scaled by skipped vars.
+  std::unordered_map<NodeId, double> memo;
+  auto count = [&](auto&& self, NodeId x) -> double {
+    if (x == kFalse) return 0.0;
+    if (x == kTrue) return 1.0;
+    if (const auto it = memo.find(x); it != memo.end()) return it->second;
+    const Node& n = nodes_[x];
+    auto weight = [&](NodeId child) {
+      const std::uint32_t child_var =
+          child <= kTrue ? static_cast<std::uint32_t>(num_vars_) : nodes_[child].var;
+      return std::pow(2.0, static_cast<double>(child_var - n.var - 1));
+    };
+    const double total = self(self, n.low) * weight(n.low) + self(self, n.high) * weight(n.high);
+    memo.emplace(x, total);
+    return total;
+  };
+  const std::uint32_t top = f <= kTrue ? static_cast<std::uint32_t>(num_vars_) : nodes_[f].var;
+  return count(count, f) * std::pow(2.0, static_cast<double>(top));
+}
+
+bool Manager::pick_model(NodeId f, util::BitVec* out) const {
+  if (f == kFalse) return false;
+  util::BitVec model(num_vars_);
+  while (f > kTrue) {
+    const Node& n = nodes_[f];
+    if (n.high != kFalse) {
+      model.set(n.var);
+      f = n.high;
+    } else {
+      f = n.low;
+    }
+  }
+  *out = std::move(model);
+  return true;
+}
+
+NodeId Manager::from_cover(const logic::Cover& cover) {
+  MPS_ASSERT(cover.num_vars() == num_vars_);
+  NodeId sum = kFalse;
+  for (const logic::Cube& cube : cover.cubes()) {
+    NodeId product = kTrue;
+    // Build bottom-up (highest variable first) to keep intermediate sizes small.
+    for (std::size_t v = num_vars_; v-- > 0;) {
+      const auto lit = cube.literal(v);
+      if (!lit.has_value()) continue;
+      product = ite(var(static_cast<std::uint32_t>(v)), *lit ? product : kFalse,
+                    *lit ? kFalse : product);
+    }
+    sum = bdd_or(sum, product);
+  }
+  return sum;
+}
+
+NodeId Manager::from_minterms(const std::vector<util::BitVec>& codes) {
+  NodeId sum = kFalse;
+  for (const auto& code : codes) {
+    MPS_ASSERT(code.size() == num_vars_);
+    NodeId product = kTrue;
+    for (std::size_t v = num_vars_; v-- > 0;) {
+      product = ite(var(static_cast<std::uint32_t>(v)), code.test(v) ? product : kFalse,
+                    code.test(v) ? kFalse : product);
+    }
+    sum = bdd_or(sum, product);
+  }
+  return sum;
+}
+
+}  // namespace mps::bdd

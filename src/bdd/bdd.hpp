@@ -1,0 +1,102 @@
+// A reduced ordered BDD package — the substrate for the paper's cited
+// follow-up ("the implementation area was further reduced by developing a
+// BDD based constraint satisfaction approach [19]") and for exact
+// equivalence checking in verify::.
+//
+// Classic design: a global-order unique table keyed by (var, low, high),
+// hash-consed nodes addressed by index, complement-free (both terminals
+// are materialized), memoized ITE.  Node 0 = false, node 1 = true.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/cover.hpp"
+#include "util/bitvec.hpp"
+
+namespace mps::bdd {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kFalse = 0;
+inline constexpr NodeId kTrue = 1;
+
+class Manager {
+ public:
+  explicit Manager(std::size_t num_vars);
+
+  std::size_t num_vars() const { return num_vars_; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  NodeId bdd_false() const { return kFalse; }
+  NodeId bdd_true() const { return kTrue; }
+  /// The function "variable v" (positive literal).
+  NodeId var(std::uint32_t v);
+  /// The function "¬v".
+  NodeId nvar(std::uint32_t v);
+
+  NodeId ite(NodeId f, NodeId g, NodeId h);
+  NodeId bdd_not(NodeId f) { return ite(f, kFalse, kTrue); }
+  NodeId bdd_and(NodeId f, NodeId g) { return ite(f, g, kFalse); }
+  NodeId bdd_or(NodeId f, NodeId g) { return ite(f, kTrue, g); }
+  NodeId bdd_xor(NodeId f, NodeId g) { return ite(f, bdd_not(g), g); }
+  NodeId bdd_implies(NodeId f, NodeId g) { return ite(f, g, kTrue); }
+
+  /// Cofactor with respect to v = value.
+  NodeId restrict(NodeId f, std::uint32_t v, bool value);
+  /// ∃v. f
+  NodeId exists(NodeId f, std::uint32_t v);
+  /// ∀v. f
+  NodeId forall(NodeId f, std::uint32_t v);
+
+  /// Evaluate under a total assignment.
+  bool eval(NodeId f, const util::BitVec& assignment) const;
+  /// Number of satisfying assignments over all num_vars() variables.
+  double sat_count(NodeId f) const;
+  /// Any satisfying assignment; false if f == kFalse.
+  bool pick_model(NodeId f, util::BitVec* out) const;
+
+  /// Build from a sum-of-cubes cover (variables must match num_vars()).
+  NodeId from_cover(const logic::Cover& cover);
+  /// Build the characteristic function of a minterm list.
+  NodeId from_minterms(const std::vector<util::BitVec>& codes);
+
+  struct Node {
+    std::uint32_t var;  // 0xFFFFFFFF for terminals
+    NodeId low, high;
+  };
+  const Node& node(NodeId id) const { return nodes_[id]; }
+
+ private:
+  NodeId make(std::uint32_t v, NodeId low, NodeId high);
+  NodeId top_var(NodeId f, NodeId g, NodeId h) const;
+
+  struct Key {
+    std::uint32_t var;
+    NodeId low, high;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(
+          util::hash_combine(util::hash_combine(k.var, k.low), k.high));
+    }
+  };
+  struct IteKey {
+    NodeId f, g, h;
+    bool operator==(const IteKey&) const = default;
+  };
+  struct IteKeyHash {
+    std::size_t operator()(const IteKey& k) const {
+      return static_cast<std::size_t>(util::hash_combine(util::hash_combine(k.f, k.g), k.h));
+    }
+  };
+
+  std::size_t num_vars_;
+  std::vector<Node> nodes_;
+  std::unordered_map<Key, NodeId, KeyHash> unique_;
+  std::unordered_map<IteKey, NodeId, IteKeyHash> ite_cache_;
+};
+
+}  // namespace mps::bdd

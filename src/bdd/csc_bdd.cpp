@@ -1,0 +1,80 @@
+#include "bdd/csc_bdd.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "logic/extract.hpp"
+#include "util/common.hpp"
+
+namespace mps::bdd {
+
+NodeId reachable_chi(Manager& mgr, const sg::StateGraph& g) {
+  MPS_ASSERT(mgr.num_vars() == g.num_signals());
+  std::vector<util::BitVec> codes;
+  codes.reserve(g.num_states());
+  for (sg::StateId s = 0; s < g.num_states(); ++s) codes.push_back(g.code(s));
+  return mgr.from_minterms(codes);
+}
+
+bool csc_holds(Manager& mgr, const sg::StateGraph& g) {
+  MPS_ASSERT(mgr.num_vars() == g.num_signals());
+  for (sg::SignalId sig = 0; sig < g.num_signals(); ++sig) {
+    if (g.is_input(sig)) continue;
+    std::vector<util::BitVec> on_codes, off_codes;
+    for (sg::StateId s = 0; s < g.num_states(); ++s) {
+      (logic::implied_value(g, s, sig) ? on_codes : off_codes).push_back(g.code(s));
+    }
+    const NodeId on = mgr.from_minterms(on_codes);
+    const NodeId off = mgr.from_minterms(off_codes);
+    if (mgr.bdd_and(on, off) != mgr.bdd_false()) return false;
+  }
+  return true;
+}
+
+bool cover_matches_spec(Manager& mgr, const logic::SopSpec& spec, const logic::Cover& cover) {
+  MPS_ASSERT(mgr.num_vars() == spec.num_vars && cover.num_vars() == spec.num_vars);
+  const NodeId f = mgr.from_cover(cover);
+  const NodeId on = mgr.from_minterms(spec.on);
+  const NodeId off = mgr.from_minterms(spec.off);
+  // ON ⊆ f:  on ∧ ¬f = ⊥;   f ⊆ ¬OFF:  f ∧ off = ⊥.
+  if (mgr.bdd_and(on, mgr.bdd_not(f)) != mgr.bdd_false()) return false;
+  if (mgr.bdd_and(f, off) != mgr.bdd_false()) return false;
+  return true;
+}
+
+std::optional<std::vector<bool>> solve_cnf_bdd(const sat::Cnf& cnf, std::size_t max_nodes) {
+  Manager mgr(cnf.num_vars());
+  NodeId f = mgr.bdd_true();
+  // Conjoin clauses sorted by their maximum variable: keeps the live
+  // frontier narrow under the natural (state-major) variable order the
+  // CSC encoding uses.
+  std::vector<std::uint32_t> order(cnf.num_clauses());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    sat::Var ma = 0;
+    for (const sat::Lit l : cnf.clause(a)) ma = std::max(ma, l.var());
+    sat::Var mb = 0;
+    for (const sat::Lit l : cnf.clause(b)) mb = std::max(mb, l.var());
+    return ma < mb;
+  });
+  for (const std::uint32_t ci : order) {
+    NodeId clause = mgr.bdd_false();
+    for (const sat::Lit l : cnf.clause(ci)) {
+      clause = mgr.bdd_or(clause, l.negated() ? mgr.nvar(l.var()) : mgr.var(l.var()));
+    }
+    f = mgr.bdd_and(f, clause);
+    if (f == mgr.bdd_false()) return std::nullopt;
+    if (mgr.num_nodes() > max_nodes) {
+      throw util::LimitError("solve_cnf_bdd: BDD exceeded " + std::to_string(max_nodes) +
+                             " nodes");
+    }
+  }
+  util::BitVec model;
+  if (!mgr.pick_model(f, &model)) return std::nullopt;
+  std::vector<bool> out(cnf.num_vars(), false);
+  for (std::size_t v = 0; v < cnf.num_vars(); ++v) out[v] = model.test(v);
+  MPS_ASSERT(cnf.satisfied_by(out));
+  return out;
+}
+
+}  // namespace mps::bdd

@@ -1,0 +1,37 @@
+// BDD-based CSC machinery — the paper's reference [19] extension ("A
+// Divide and Conquer Approach for Asynchronous Interface Synthesis",
+// IHLS'94): characteristic-function formulations of the CSC check and a
+// BDD cross-check of extracted covers.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "logic/minimize.hpp"
+#include "sat/cnf.hpp"
+#include "sg/state_graph.hpp"
+
+namespace mps::bdd {
+
+/// Characteristic function of the reachable codes of `g`.
+NodeId reachable_chi(Manager& mgr, const sg::StateGraph& g);
+
+/// CSC check via characteristic functions: for each non-input signal s,
+/// build chi of the states implying F_s = 1 and of those implying F_s = 0;
+/// CSC holds iff the two never share a code.  Returns true iff CSC holds.
+bool csc_holds(Manager& mgr, const sg::StateGraph& g);
+
+/// Exact equivalence of a minimized cover against its ON/OFF specification
+/// modulo don't-cares:  ON ⊆ cover ⊆ ¬OFF.
+bool cover_matches_spec(Manager& mgr, const logic::SopSpec& spec, const logic::Cover& cover);
+
+/// BDD-based constraint satisfaction (the core of ref. [19]'s divide and
+/// conquer): conjoin the clauses of a CNF into a characteristic function
+/// and extract a model.  Returns nullopt if the formula is unsatisfiable;
+/// throws util::LimitError if the intermediate BDD exceeds `max_nodes`
+/// (callers fall back to the DPLL solver).
+std::optional<std::vector<bool>> solve_cnf_bdd(const sat::Cnf& cnf,
+                                               std::size_t max_nodes = 2'000'000);
+
+}  // namespace mps::bdd

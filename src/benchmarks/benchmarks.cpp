@@ -1,0 +1,432 @@
+#include "benchmarks/benchmarks.hpp"
+
+#include "benchmarks/generators.hpp"
+
+namespace mps::benchmarks {
+
+namespace {
+
+// Shorthand fragment builders.  A "hs" is a four-phase handshake
+// (r+ a+ r- a-), a "dhs" runs the handshake twice per cycle, and a
+// "pulse" is a bare x+ x- (the classic CSC-conflict producer: the state
+// before x+ and after x- share a code).
+Frag hs(SpStg& s, const std::string& r, const std::string& a) {
+  return s.chain({r + "+", a + "+", r + "-", a + "-"});
+}
+Frag dhs(SpStg& s, const std::string& r, const std::string& a) {
+  return s.chain({r + "+", a + "+", r + "-", a + "-", r + "+/1", a + "+/1", r + "-/1",
+                  a + "-/1"});
+}
+Frag hs2(SpStg& s, const std::string& r, const std::string& a) {  // second instance
+  return s.chain({r + "+/1", a + "+/1", r + "-/1", a + "-/1"});
+}
+Frag pulse(SpStg& s, const std::string& x) { return s.chain({x + "+", x + "-"}); }
+
+// --- large controllers -------------------------------------------------
+
+// mr0: a memory-read controller, 11 signals.  Two phases of three-way
+// concurrent bank handshakes (the banks are re-used across phases), with a
+// transfer strobe between them and a data-done pulse overlapping phase 2.
+stg::Stg make_mr0() {
+  SpStg s("mr0");
+  s.input("req").output("ack");
+  s.output("r0").input("a0").output("r1").input("a1").output("r2").input("a2");
+  s.output("x").output("d").input("e");
+  const Frag body = s.seq({
+      s.chain({"req+"}),
+      s.par({hs(s, "r0", "a0"), hs(s, "r1", "a1"), hs(s, "r2", "a2")}),
+      s.chain({"x+"}),
+      s.par({hs2(s, "r0", "a0"), hs2(s, "r1", "a1"),
+             s.chain({"d+", "e+", "d-", "e-", "d+/1", "d-/1"})}),
+      s.chain({"x-", "ack+", "req-", "ack-"}),
+  });
+  return s.close_loop(body);
+}
+
+// mr1: the smaller memory-read controller, 8 signals: two banks with
+// double handshakes per cycle plus a precharge pulse in parallel.
+stg::Stg make_mr1() {
+  SpStg s("mr1");
+  s.input("req").output("ack");
+  s.output("r0").input("a0").output("r1").input("a1");
+  s.output("pr").input("pa");
+  const Frag body = s.seq({
+      s.chain({"req+"}),
+      s.par({dhs(s, "r0", "a0"),
+             s.chain({"r1+", "a1+", "r1-", "a1-", "r1+/1", "r1-/1"}), pulse(s, "pr")}),
+      s.chain({"pa+", "ack+", "req-", "pa-", "ack-"}),
+  });
+  return s.close_loop(body);
+}
+
+// mmu0: memory-management unit, 8 signals: three concurrent activities
+// (a translation channel that fires twice, a table-walk handshake, a map
+// strobe) joined by a completion detector v that alone triggers ack — the
+// structure that lets the per-output modules stay small.
+stg::Stg make_mmu0() {
+  SpStg s("mmu0");
+  s.input("req").output("ack");
+  s.output("t0").input("u0").output("t1").input("u1");
+  s.output("m").input("v");
+  const Frag body = s.seq({
+      s.chain({"req+"}),
+      s.par({s.chain({"t0+", "u0+", "t0-", "u0-", "t0+/1", "t0-/1"}), hs(s, "t1", "u1"),
+             s.chain({"m+", "m-", "m+/1", "m-/1"})}),
+      s.chain({"v+", "ack+", "req-", "v-", "ack-"}),
+  });
+  return s.close_loop(body);
+}
+
+// mmu1: the smaller MMU, 8 signals, a single concurrent phase.
+stg::Stg make_mmu1() {
+  SpStg s("mmu1");
+  s.input("req").output("ack");
+  s.output("t0").input("u0").output("t1").input("u1");
+  s.output("m").input("v");
+  const Frag body = s.seq({
+      s.chain({"req+"}),
+      s.par({hs(s, "t0", "u0"), hs(s, "t1", "u1"), pulse(s, "m")}),
+      s.chain({"v+", "ack+", "req-", "v-", "ack-"}),
+  });
+  return s.close_loop(body);
+}
+
+// sbuf-ram-write: 10 signals, two consecutive two-way concurrent phases.
+stg::Stg make_sbuf_ram_write() {
+  SpStg s("sbuf-ram-write");
+  s.input("req").output("ack");
+  s.output("w0").input("b0").output("w1").input("b1");
+  s.output("w2").input("b2").output("w3").input("b3");
+  const Frag body = s.seq({
+      s.chain({"req+"}),
+      s.par({hs(s, "w0", "b0"), hs(s, "w1", "b1")}),
+      s.par({hs(s, "w2", "b2"), hs(s, "w3", "b3")}),
+      s.chain({"ack+", "req-", "ack-"}),
+  });
+  return s.close_loop(body);
+}
+
+// vbe4a: 6 signals, one wide concurrent phase with asymmetric channels.
+stg::Stg make_vbe4a() {
+  SpStg s("vbe4a");
+  s.input("a").output("f");
+  s.output("b").input("c").output("d").input("e");
+  const Frag body = s.seq({
+      s.chain({"a+"}),
+      s.par({hs(s, "b", "c"),
+             s.chain({"d+", "e+", "d-", "e-", "d+/1", "e+/1", "d-/1", "e-/1", "d+/2",
+                      "d-/2"})}),
+      s.chain({"f+", "a-", "f-"}),
+  });
+  return s.close_loop(body);
+}
+
+// nak-pa: negative-acknowledge protocol adapter, 9 signals.
+stg::Stg make_nak_pa() {
+  SpStg s("nak-pa");
+  s.input("req").output("ack");
+  s.output("r0").input("a0").output("r1").input("a1");
+  s.output("n").output("p").input("q");
+  const Frag body = s.seq({
+      s.chain({"req+"}),
+      s.par({hs(s, "r0", "a0"), dhs(s, "r1", "a1")}),
+      s.chain({"n+", "n-"}),
+      s.par({pulse(s, "p"), s.chain({"q+", "q-"})}),
+      s.chain({"ack+", "req-", "ack-"}),
+  });
+  return s.close_loop(body);
+}
+
+// pe-rcv-ifc-fc: a free-choice receiver interface, 8 signals: the packet
+// kind chooses between two handshake branches.
+stg::Stg make_pe_rcv_ifc_fc() {
+  SpStg s("pe-rcv-ifc-fc");
+  s.input("rcv").output("done");
+  s.input("p").output("q").output("u").internal("k");
+  s.input("t").output("v");
+  const Frag branch_data =
+      s.seq({s.chain({"p+"}),
+             s.par({s.chain({"u+", "u-", "u+/1", "u-/1"}),
+                    s.chain({"k+", "k-", "k+/1", "k-/1"})}),
+             s.chain({"q+", "p-", "q-"})});
+  const Frag branch_ctl = hs(s, "t", "v");
+  const Frag body = s.seq({
+      s.chain({"rcv+"}),
+      s.choice("kind", {branch_data, branch_ctl}),
+      s.chain({"done+", "rcv-", "done-"}),
+  });
+  return s.close_loop(body);
+}
+
+// ram-read-sbuf: 10 signals, a mostly sequential read with one concurrent
+// precharge phase.
+stg::Stg make_ram_read_sbuf() {
+  SpStg s("ram-read-sbuf");
+  s.input("req").output("ack");
+  s.output("ra").input("rd");
+  s.output("pc").input("pd");
+  s.output("s0").input("s1");
+  s.output("ld").input("dn");
+  const Frag body = s.seq({
+      s.chain({"req+", "ra+", "rd+"}),
+      s.par({s.chain({"pc+", "pc-", "pc+/1", "pc-/1"}),
+             s.chain({"s0+", "s1+", "s0-", "s1-"})}),
+      s.chain({"ra-", "rd-", "ld+", "dn+", "ld-", "dn-", "pd+", "ack+", "req-", "pd-",
+               "ack-"}),
+  });
+  return s.close_loop(body);
+}
+
+// alex-nonfc: a NON-free-choice arbiter between two clients (the shared
+// mutual-exclusion place feeds transitions with different presets).  Built
+// on the raw builder: the fragment algebra only makes free-choice nets.
+stg::Stg make_alex_nonfc() {
+  stg::Builder b("alex-nonfc");
+  b.inputs({"r1", "r2"}).outputs({"g1", "d1", "g2", "d2"});
+  // Client i: ri+ -> gi+ -> di+ -> di- -> ri- -> gi- -> (back to ri+).
+  for (const char* i : {"1", "2"}) {
+    const std::string r = std::string("r") + i;
+    const std::string g = std::string("g") + i;
+    const std::string d = std::string("d") + i;
+    b.arc(r + "+", g + "+");
+    b.arc(g + "+", d + "+");
+    b.arc(d + "+", d + "-");
+    b.arc(d + "-", r + "-");
+    b.arc(r + "-", g + "-");
+    b.arc(g + "-", r + "+");
+    b.token(g + "-", r + "+");
+  }
+  // The arbiter: grants exclude each other.  g1+ consumes the token of
+  // place "me"; g1- returns it (same for client 2) — non-free-choice.
+  b.arc("me", "g1+").arc("me", "g2+");
+  b.arc("g1-", "me").arc("g2-", "me");
+  b.token_on("me");
+  return b.build();
+}
+
+// sbuf-send-pkt2: 6 signals, sequential with one short concurrent burst.
+stg::Stg make_sbuf_send_pkt2() {
+  SpStg s("sbuf-send-pkt2");
+  s.input("send").output("done");
+  s.output("p0").input("q0").output("p1").input("q1");
+  const Frag body = s.seq({
+      s.chain({"send+", "p0+", "q0+"}),
+      s.par({s.chain({"p0-", "q0-"}), s.chain({"p1+", "p1-", "p1+/1", "p1-/1"})}),
+      s.chain({"q1+", "done+", "send-", "q1-", "done-"}),
+  });
+  return s.close_loop(body);
+}
+
+// sbuf-send-ctl: 6 signals, two sequential internal handshakes per cycle.
+stg::Stg make_sbuf_send_ctl() {
+  SpStg s("sbuf-send-ctl");
+  s.input("send").output("done");
+  s.output("c0").input("e0").output("c1").input("e1");
+  const Frag body = s.seq({
+      s.chain({"send+"}),
+      hs(s, "c0", "e0"),
+      s.par({hs(s, "c1", "e1"), pulse(s, "done")}),
+      s.chain({"send-"}),
+  });
+  return s.close_loop(body);
+}
+
+// atod: analog-to-digital controller, 6 signals, sequential convert /
+// sample phases.
+stg::Stg make_atod() {
+  SpStg s("atod");
+  s.input("go").output("rdy");
+  s.output("sm").input("se").output("cv").input("ce");
+  const Frag body = s.seq({
+      s.chain({"go+"}),
+      s.par({hs(s, "sm", "se"), pulse(s, "cv")}),
+      s.chain({"ce+", "rdy+", "go-", "ce-", "rdy-"}),
+  });
+  return s.close_loop(body);
+}
+
+// pa: 4 signals, one asymmetric concurrent phase.
+stg::Stg make_pa() {
+  SpStg s("pa");
+  s.input("r").output("a");
+  s.output("x").output("y");
+  const Frag body = s.seq({
+      s.chain({"r+"}),
+      s.par({s.chain({"x+", "x-", "x+/1", "x-/1"}), pulse(s, "y")}),
+      s.chain({"a+", "r-", "a-"}),
+  });
+  return s.close_loop(body);
+}
+
+// alloc-outbound: 7 signals, sequential allocate with a parallel tail.
+stg::Stg make_alloc_outbound() {
+  SpStg s("alloc-outbound");
+  s.input("req").output("ack");
+  s.output("al").input("av");
+  s.output("sd").input("sv").output("fr");
+  const Frag body = s.seq({
+      s.chain({"req+", "al+", "av+"}),
+      s.par({s.chain({"al-", "av-"}), s.chain({"sd+", "sv+"})}),
+      s.chain({"sd-", "sv-", "fr+", "ack+", "req-", "fr-", "ack-"}),
+  });
+  return s.close_loop(body);
+}
+
+// wrdata: 4 signals, write-data strobe with a double pulse.
+stg::Stg make_wrdata() {
+  SpStg s("wrdata");
+  s.input("w").output("k");
+  s.output("d").input("v");
+  const Frag body = s.seq({
+      s.chain({"w+"}),
+      s.par({s.chain({"d+", "d-", "d+/1", "d-/1"}), pulse(s, "v")}),
+      s.chain({"k+", "w-", "k-"}),
+  });
+  return s.close_loop(body);
+}
+
+// fifo: 4 signals, one-stage pipeline control.
+stg::Stg make_fifo() {
+  SpStg s("fifo");
+  s.input("ri").output("ao");
+  s.output("r0").input("a0");
+  const Frag body = s.seq({
+      s.chain({"ri+", "r0+", "a0+"}),
+      s.par({s.chain({"r0-", "a0-"}), s.chain({"ao+", "ao-", "ao+/1", "ao-/1"})}),
+      s.chain({"ri-"}),
+  });
+  return s.close_loop(body);
+}
+
+// sbuf-read-ctl: 6 signals, short sequential cycle.
+stg::Stg make_sbuf_read_ctl() {
+  SpStg s("sbuf-read-ctl");
+  s.input("rd").output("dn");
+  s.output("c").input("e").output("s").input("t");
+  const Frag body = s.seq({
+      s.chain({"rd+", "c+", "e+"}),
+      s.par({s.chain({"c-", "e-"}), s.chain({"s+", "t+"})}),
+      s.chain({"dn+", "rd-", "s-", "t-", "dn-"}),
+  });
+  return s.close_loop(body);
+}
+
+// nouse: 3 signals, the classic two-pulse fork.
+stg::Stg make_nouse() {
+  SpStg s("nouse");
+  s.input("a");
+  s.output("b").output("c");
+  const Frag body = s.seq({
+      s.chain({"a+"}),
+      s.par({pulse(s, "b"), pulse(s, "c")}),
+      s.chain({"a-"}),
+  });
+  return s.close_loop(body);
+}
+
+// vbe-ex2: 2 signals, both pulsing twice per cycle (needs 2 state signals).
+stg::Stg make_vbe_ex2() {
+  SpStg s("vbe-ex2");
+  s.output("x").output("y");
+  const Frag body = s.chain({"x+", "x-", "y+", "y-", "x+/1", "x-/1", "y+/1", "y-/1"});
+  return s.close_loop(body);
+}
+
+// nousc-ser: 3 signals, serial pulses with one repeated signal.
+stg::Stg make_nousc_ser() {
+  SpStg s("nousc-ser");
+  s.input("a").output("b").output("c");
+  const Frag body = s.chain({"a+", "b+", "b-", "a-", "b+/1", "c+", "c-", "b-/1"});
+  return s.close_loop(body);
+}
+
+// sendr-done: 3 signals, a send strobe with a concurrent done pulse.
+stg::Stg make_sendr_done() {
+  SpStg s("sendr-done");
+  s.input("s").output("d").output("e");
+  const Frag body = s.seq({
+      s.chain({"s+", "d+"}),
+      s.par({s.chain({"d-"}), pulse(s, "e")}),
+      s.chain({"s-"}),
+  });
+  return s.close_loop(body);
+}
+
+// vbe-ex1: 2 signals, each pulsing once — the minimal CSC-violation STG.
+stg::Stg make_vbe_ex1() {
+  SpStg s("vbe-ex1");
+  s.output("x").output("y");
+  const Frag body = s.chain({"x+", "x-", "y+", "y-"});
+  return s.close_loop(body);
+}
+
+std::vector<Benchmark> build_table() {
+  std::vector<Benchmark> t;
+  auto add = [&](const char* name, stg::Stg (*make)(), PaperRow row) {
+    t.push_back(Benchmark{name, make, row});
+  };
+  // Paper values transcribed from Table 1.
+  add("mr0", make_mr0,
+      {302, 11, 469, 14, 41, 2.80, true, 0, 0, 0, 3600.0, nullptr, 13, 86, 1084.5});
+  add("mr1", make_mr1,
+      {190, 8, 373, 12, 55, 1.73, true, 0, 0, 0, 872.9, nullptr, 10, 53, 237.5});
+  add("mmu0", make_mmu0,
+      {174, 8, 441, 11, 49, 0.87, true, 0, 0, 0, 406.3, "Internal State Error", 0, 0, 0.0});
+  add("mmu1", make_mmu1,
+      {82, 8, 131, 10, 50, 0.37, true, 0, 0, 0, 101.3, nullptr, 10, 37, 47.8});
+  add("sbuf-ram-write", make_sbuf_ram_write,
+      {58, 10, 93, 12, 59, 0.36, false, 90, 12, 74, 5.21, nullptr, 12, 35, 54.6});
+  add("vbe4a", make_vbe4a,
+      {58, 6, 106, 8, 37, 0.19, false, 116, 8, 40, 0.25, nullptr, 8, 41, 5.5});
+  add("nak-pa", make_nak_pa,
+      {56, 9, 59, 10, 25, 0.20, false, 58, 10, 32, 0.08, nullptr, 10, 41, 20.8});
+  add("pe-rcv-ifc-fc", make_pe_rcv_ifc_fc,
+      {46, 8, 50, 9, 48, 0.24, false, 53, 9, 50, 0.13, nullptr, 9, 62, 14.3});
+  add("ram-read-sbuf", make_ram_read_sbuf,
+      {36, 10, 44, 11, 28, 0.15, false, 53, 11, 44, 0.06, nullptr, 11, 23, 65.2});
+  add("alex-nonfc", make_alex_nonfc,
+      {24, 6, 31, 7, 26, 0.05, false, 28, 7, 22, 0.03, "Non-Free-Choice STG", 0, 0, 0.0});
+  add("sbuf-send-pkt2", make_sbuf_send_pkt2,
+      {21, 6, 26, 7, 20, 0.04, false, 27, 7, 29, 0.04, nullptr, 7, 14, 8.6});
+  add("sbuf-send-ctl", make_sbuf_send_ctl,
+      {20, 6, 32, 8, 33, 0.09, false, 28, 8, 35, 0.03, nullptr, 8, 43, 3.4});
+  add("atod", make_atod,
+      {20, 6, 26, 7, 15, 0.02, false, 24, 7, 16, 0.01, nullptr, 7, 19, 2.9});
+  add("pa", make_pa,
+      {18, 4, 34, 6, 18, 0.12, false, 31, 6, 22, 0.06, "Internal State Error", 0, 0, 0.0});
+  add("alloc-outbound", make_alloc_outbound,
+      {17, 7, 29, 9, 33, 0.09, false, 24, 9, 27, 0.04, nullptr, 9, 23, 2.5});
+  add("wrdata", make_wrdata,
+      {16, 4, 20, 5, 17, 0.03, false, 19, 5, 18, 0.01, nullptr, 5, 21, 0.9});
+  add("fifo", make_fifo,
+      {16, 4, 23, 5, 15, 0.03, false, 20, 5, 17, 0.02, nullptr, 5, 15, 0.7});
+  add("sbuf-read-ctl", make_sbuf_read_ctl,
+      {14, 6, 18, 7, 16, 0.06, false, 16, 7, 20, 0.01, nullptr, 7, 15, 1.5});
+  add("nouse", make_nouse,
+      {12, 3, 16, 4, 12, 0.01, false, 16, 4, 12, 0.01, nullptr, 4, 14, 0.5});
+  add("vbe-ex2", make_vbe_ex2,
+      {8, 2, 12, 4, 18, 0.08, false, 12, 4, 18, 0.03, nullptr, 4, 21, 0.5});
+  add("nousc-ser", make_nousc_ser,
+      {8, 3, 10, 4, 9, 0.02, false, 10, 4, 9, 0.01, nullptr, 4, 11, 0.4});
+  add("sendr-done", make_sendr_done,
+      {7, 3, 10, 4, 8, 0.02, false, 10, 4, 8, 0.01, nullptr, 4, 6, 0.4});
+  add("vbe-ex1", make_vbe_ex1,
+      {5, 2, 8, 3, 7, 0.01, false, 8, 3, 7, 0.01, nullptr, 3, 7, 0.3});
+  return t;
+}
+
+}  // namespace
+
+const std::vector<Benchmark>& table1_benchmarks() {
+  static const std::vector<Benchmark> table = build_table();
+  return table;
+}
+
+const Benchmark* find_benchmark(const std::string& name) {
+  for (const Benchmark& b : table1_benchmarks()) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+}  // namespace mps::benchmarks

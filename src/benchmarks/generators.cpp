@@ -1,0 +1,238 @@
+#include "benchmarks/generators.hpp"
+
+#include <algorithm>
+
+namespace mps::benchmarks {
+
+Frag SpStg::chain(const std::vector<std::string>& tokens) {
+  MPS_ASSERT(!tokens.empty());
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    builder_.arc(tokens[i], tokens[i + 1]);
+  }
+  return Frag{{tokens.front()}, {tokens.back()}, false, false};
+}
+
+void SpStg::connect(const Frag& from, const Frag& to, bool with_token) {
+  MPS_ASSERT(!(from.tail_is_place && to.head_is_place));
+  // A place feeding several transitions is a *choice*; in series
+  // composition that would be accidental, so forbid it.
+  MPS_ASSERT(!(from.tail_is_place && to.heads.size() > 1));
+  for (const auto& src : from.tails) {
+    for (const auto& dst : to.heads) {
+      builder_.arc(src, dst);
+      if (with_token && !from.tail_is_place && !to.head_is_place) {
+        builder_.token(src, dst);
+      }
+    }
+  }
+  if (with_token && from.tail_is_place) {
+    for (const auto& src : from.tails) builder_.token_on(src);
+  }
+  if (with_token && to.head_is_place) {
+    for (const auto& dst : to.heads) builder_.token_on(dst);
+  }
+}
+
+Frag SpStg::seq(const std::vector<Frag>& frags) {
+  MPS_ASSERT(!frags.empty());
+  for (std::size_t i = 0; i + 1 < frags.size(); ++i) {
+    connect(frags[i], frags[i + 1], /*with_token=*/false);
+  }
+  Frag out;
+  out.heads = frags.front().heads;
+  out.head_is_place = frags.front().head_is_place;
+  out.tails = frags.back().tails;
+  out.tail_is_place = frags.back().tail_is_place;
+  return out;
+}
+
+Frag SpStg::par(const std::vector<Frag>& frags) {
+  MPS_ASSERT(frags.size() >= 2);
+  Frag out;
+  for (const Frag& f : frags) {
+    MPS_ASSERT(!f.head_is_place && !f.tail_is_place);  // transition boundaries only
+    out.heads.insert(out.heads.end(), f.heads.begin(), f.heads.end());
+    out.tails.insert(out.tails.end(), f.tails.begin(), f.tails.end());
+  }
+  return out;
+}
+
+Frag SpStg::choice(const std::string& name, const std::vector<Frag>& frags) {
+  MPS_ASSERT(frags.size() >= 2);
+  const std::string split = name + "_c";
+  const std::string merge = name + "_m";
+  for (const Frag& f : frags) {
+    MPS_ASSERT(!f.head_is_place && f.heads.size() == 1);
+    MPS_ASSERT(!f.tail_is_place);
+    builder_.arc(split, f.heads.front());
+    for (const auto& t : f.tails) builder_.arc(t, merge);
+  }
+  return Frag{{split}, {merge}, true, true};
+}
+
+stg::Stg SpStg::close_loop(const Frag& top) {
+  connect(top, top, /*with_token=*/true);
+  return builder_.build();
+}
+
+// ---------------------------------------------------------------------
+
+stg::Stg gen_parallelizer(const std::string& name, int channels) {
+  MPS_ASSERT(channels >= 1);
+  SpStg s(name);
+  s.input("rm").output("am");
+  std::vector<Frag> slaves;
+  SpStg* sp = &s;
+  for (int i = 0; i < channels; ++i) {
+    const std::string r = "r" + std::to_string(i);
+    const std::string a = "a" + std::to_string(i);
+    s.output(r).input(a);
+    slaves.push_back(sp->chain({r + "+", a + "+", r + "-", a + "-"}));
+  }
+  const Frag body = channels == 1
+                        ? s.seq({s.chain({"rm+"}), slaves[0], s.chain({"am+", "rm-", "am-"})})
+                        : s.seq({s.chain({"rm+"}), s.par(slaves),
+                                 s.chain({"am+", "rm-", "am-"})});
+  return s.close_loop(body);
+}
+
+stg::Stg gen_sequencer(const std::string& name, int stages) {
+  MPS_ASSERT(stages >= 1);
+  SpStg s(name);
+  s.input("r").output("a");
+  std::vector<std::string> tokens{"r+"};
+  for (int i = 0; i < stages; ++i) {
+    const std::string p = "p" + std::to_string(i);
+    const std::string q = "q" + std::to_string(i);
+    s.output(p).input(q);
+    for (const char* suffix : {"+", "-"}) {
+      tokens.push_back(p + suffix);
+      tokens.push_back(q + suffix);
+    }
+    // Full internal handshake per stage: p+ q+ p- q-.
+    std::swap(tokens[tokens.size() - 2], tokens[tokens.size() - 3]);
+  }
+  tokens.push_back("a+");
+  tokens.push_back("r-");
+  tokens.push_back("a-");
+  return s.close_loop(s.chain(tokens));
+}
+
+namespace {
+
+Frag pipeline_stage(SpStg& s, int i, int stages) {
+  const std::string r = "r" + std::to_string(i);
+  const std::string a = "a" + std::to_string(i);
+  s.output(r).input(a);
+  const Frag rise = s.chain({r + "+", a + "+"});
+  const Frag fall = s.chain({r + "-", a + "-"});
+  if (i + 1 == stages) return s.seq({rise, fall});
+  // Return-to-zero overlaps with the downstream stage.
+  const Frag next = pipeline_stage(s, i + 1, stages);
+  return s.seq({rise, s.par({fall, next})});
+}
+
+}  // namespace
+
+stg::Stg gen_pipeline(const std::string& name, int stages) {
+  MPS_ASSERT(stages >= 1);
+  SpStg s(name);
+  // A leading environment handshake keeps stage 0's fork well-formed.
+  s.input("ri").output("ao");
+  const Frag body =
+      s.seq({s.chain({"ri+"}), pipeline_stage(s, 0, stages), s.chain({"ao+", "ri-", "ao-"})});
+  return s.close_loop(body);
+}
+
+stg::Stg gen_toggle_ring(const std::string& name, int signals) {
+  MPS_ASSERT(signals >= 2);
+  SpStg s(name);
+  std::vector<std::string> tokens;
+  for (int i = 0; i < signals; ++i) {
+    const std::string x = "x" + std::to_string(i);
+    s.output(x);
+    tokens.push_back(x + "+");
+    tokens.push_back(x + "-");
+  }
+  return s.close_loop(s.chain(tokens));
+}
+
+namespace {
+
+struct RandomCtx {
+  SpStg* s;
+  util::Rng* rng;
+  const RandomStgOptions* opts;
+  int next_signal = 0;
+  int guards = 0;
+
+  std::string fresh_signal() {
+    const std::string n = "x" + std::to_string(next_signal++);
+    if (rng->chance(opts->input_prob)) {
+      s->input(n);
+    } else {
+      s->output(n);
+    }
+    return n;
+  }
+  std::string fresh_guard() {
+    const std::string n = "g" + std::to_string(guards++);
+    s->internal(n);
+    return n;
+  }
+  int remaining() const { return opts->num_signals - next_signal; }
+};
+
+Frag random_block(RandomCtx& ctx, int depth) {
+  if (depth <= 0 || ctx.remaining() <= 1) {
+    const std::string x = ctx.fresh_signal();
+    if (ctx.remaining() > 0 && ctx.rng->chance(0.4)) {
+      // Handshake leaf.
+      const std::string y = ctx.fresh_signal();
+      return ctx.s->chain({x + "+", y + "+", x + "-", y + "-"});
+    }
+    return ctx.s->chain({x + "+", x + "-"});  // pulse leaf: high conflict density
+  }
+  const double dice = ctx.rng->uniform();
+  if (dice < ctx.opts->choice_prob && ctx.remaining() >= 3) {
+    // Guarded choice between two alternatives.
+    const std::string g = ctx.fresh_guard();
+    const Frag alt1 = random_block(ctx, depth - 1);
+    const Frag alt2 = random_block(ctx, depth - 1);
+    const Frag ch = ctx.s->choice(g + "ch", {alt1, alt2});
+    return ctx.s->seq({ctx.s->chain({g + "+"}), ch, ctx.s->chain({g + "-"})});
+  }
+  if (dice < 0.55 && ctx.remaining() >= 3) {
+    // Guarded parallel.
+    const std::string g = ctx.fresh_guard();
+    const int width =
+        2 + static_cast<int>(ctx.rng->below(
+                static_cast<std::uint64_t>(std::max(1, ctx.opts->max_par_width - 1))));
+    std::vector<Frag> branches;
+    for (int i = 0; i < width && ctx.remaining() > 0; ++i) {
+      branches.push_back(random_block(ctx, depth - 1));
+    }
+    if (branches.size() < 2) return ctx.s->seq({ctx.s->chain({g + "+", g + "-"}), branches[0]});
+    return ctx.s->seq(
+        {ctx.s->chain({g + "+"}), ctx.s->par(branches), ctx.s->chain({g + "-"})});
+  }
+  // Series of two blocks.
+  const Frag a = random_block(ctx, depth - 1);
+  const Frag b = random_block(ctx, depth - 1);
+  return ctx.s->seq({a, b});
+}
+
+}  // namespace
+
+stg::Stg random_stg(util::Rng& rng, const RandomStgOptions& opts) {
+  SpStg s("random");
+  RandomCtx ctx{&s, &rng, &opts, 0, 0};
+  Frag body = random_block(ctx, opts.max_depth);
+  if (body.head_is_place || body.tail_is_place) {
+    const std::string g = ctx.fresh_guard();
+    body = s.seq({s.chain({g + "+"}), body, s.chain({g + "-"})});
+  }
+  return s.close_loop(body);
+}
+
+}  // namespace mps::benchmarks

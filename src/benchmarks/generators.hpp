@@ -1,0 +1,118 @@
+// Parametric STG construction.
+//
+// The paper's Table 1 uses the HP/SIS asynchronous benchmark suite, which
+// is not redistributable here; DESIGN.md records the substitution.  This
+// module provides the machinery the re-authored suite (benchmarks.cpp) and
+// the property/scaling benches are built from:
+//
+//   * SpStg — a series / parallel / choice fragment algebra over signal
+//     transitions that yields live, safe, consistent STGs by construction,
+//   * generator families (handshake chains, parallelizers, pipelines,
+//     sequencers) with tunable concurrency and CSC-conflict structure,
+//   * a seeded random well-formed STG generator for property tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stg/builder.hpp"
+#include "stg/stg.hpp"
+#include "util/common.hpp"
+
+namespace mps::benchmarks {
+
+/// A fragment of behaviour with transition (or place) boundaries.
+struct Frag {
+  std::vector<std::string> heads;  ///< entry tokens
+  std::vector<std::string> tails;  ///< exit tokens
+  bool head_is_place = false;      ///< heads = single explicit place name
+  bool tail_is_place = false;
+};
+
+/// Fragment algebra on top of stg::Builder.  Typical use:
+///
+///   SpStg s("mmu0");
+///   s.input("ri"); s.output("ro"); ...
+///   auto body = s.seq({s.chain({"ri+", "ro+"}),
+///                      s.par({s.chain({"a+", "a-"}), s.chain({"b+", "b-"})}),
+///                      s.chain({"ro-", "ri-"})});
+///   auto stg = s.close_loop(body);
+///
+/// Liveness/safety/consistency hold by construction: fragments are
+/// single-entry/single-exit regions composed in series, parallel (fork /
+/// join on the neighbouring transitions) or guarded choice (explicit
+/// place), and close_loop() puts the initial tokens on the back arcs.
+class SpStg {
+ public:
+  explicit SpStg(std::string name) : builder_(std::move(name)) {}
+
+  SpStg& input(const std::string& n) {
+    builder_.input(n);
+    return *this;
+  }
+  SpStg& output(const std::string& n) {
+    builder_.output(n);
+    return *this;
+  }
+  SpStg& internal(const std::string& n) {
+    builder_.internal(n);
+    return *this;
+  }
+
+  /// Sequential chain of transition tokens ("a+", "b-/1", ...).
+  Frag chain(const std::vector<std::string>& tokens);
+  /// Series composition.
+  Frag seq(const std::vector<Frag>& frags);
+  /// Parallel composition: callers must place it between transitions (the
+  /// neighbouring seq elements fork/join it).
+  Frag par(const std::vector<Frag>& frags);
+  /// Guarded choice through explicit places `<name>_c` / `<name>_m`:
+  /// each alternative must start and end with a transition.
+  Frag choice(const std::string& name, const std::vector<Frag>& frags);
+
+  /// Close the top-level loop (tails -> heads arcs carry the initial
+  /// tokens) and build the STG.
+  stg::Stg close_loop(const Frag& top);
+
+  stg::Builder& raw() { return builder_; }
+
+ private:
+  void connect(const Frag& from, const Frag& to, bool with_token);
+
+  stg::Builder builder_;
+  int place_counter_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Generator families.
+// ---------------------------------------------------------------------
+
+/// A master handshake that forks into `channels` parallel slave handshakes
+/// (2 signals per channel) and joins before acknowledging — the structure
+/// of DMA/memory controllers.  Signals: 2 + 2*channels.
+stg::Stg gen_parallelizer(const std::string& name, int channels);
+
+/// An n-stage handshake sequencer: one request/acknowledge pair served by
+/// n sequential internal handshakes.  CSC conflicts arise between the
+/// phases of the sequential section.
+stg::Stg gen_sequencer(const std::string& name, int stages);
+
+/// A simple self-timed pipeline control of `stages` stages.
+stg::Stg gen_pipeline(const std::string& name, int stages);
+
+/// A pure cycle alternating the given signals twice (rise pass then fall
+/// pass): maximal USC/CSC conflict density, tiny state count.
+stg::Stg gen_toggle_ring(const std::string& name, int signals);
+
+struct RandomStgOptions {
+  int num_signals = 6;
+  int max_par_width = 3;
+  int max_depth = 3;
+  double choice_prob = 0.15;
+  double input_prob = 0.4;
+};
+
+/// Random well-formed STG (live, safe, consistent by construction).
+stg::Stg random_stg(util::Rng& rng, const RandomStgOptions& opts = {});
+
+}  // namespace mps::benchmarks

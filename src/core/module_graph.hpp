@@ -1,0 +1,31 @@
+// Modular state graph generation (§3.3): project the complete graph onto
+// the input set of an output, carrying existing state-signal assignments
+// through the Figure-3 merge rules, and locate the module's CSC conflicts.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/input_set.hpp"
+#include "sg/projection.hpp"
+
+namespace mps::core {
+
+struct ModuleGraph {
+  sg::Projection proj;   ///< quotient graph + cover map + merged assignments
+  sg::SignalId focus;    ///< the output o, remapped into module signal space
+  /// CSC conflicts of the module (focused on `focus`, accounting for the
+  /// carried state signals).
+  std::vector<std::pair<sg::StateId, sg::StateId>> conflicts;
+  /// Code-equal compatible pairs of the module (constrained, not separated).
+  std::vector<std::pair<sg::StateId, sg::StateId>> compatible_pairs;
+  int lower_bound = 0;
+};
+
+/// Build the module for output `o` given the input-set decision.  `assigns`
+/// are the global state-signal assignments; only `kept_state_signals` are
+/// carried in.
+ModuleGraph build_module(const sg::StateGraph& g, sg::SignalId o, const InputSetResult& input_set,
+                         const sg::Assignments& assigns);
+
+}  // namespace mps::core

@@ -1,0 +1,169 @@
+#include "core/synthesis.hpp"
+
+#include <algorithm>
+
+#include "logic/extract.hpp"
+#include "sg/csc.hpp"
+#include "sg/projection.hpp"
+#include "util/common.hpp"
+
+namespace mps::core {
+
+namespace {
+
+bool has_silent_edges(const sg::StateGraph& g) {
+  for (sg::StateId s = 0; s < g.num_states(); ++s) {
+    for (const sg::Edge& e : g.out(s)) {
+      if (e.is_silent()) return true;
+    }
+  }
+  return false;
+}
+
+/// Rescue path: when every per-output module reports no conflicts but the
+/// complete graph still violates CSC (conflicting states merged away by
+/// the projections), fall back to a direct encoding of the remaining
+/// conflicts on the complete graph.
+bool rescue_direct(const sg::StateGraph& g, const PartitionSatOptions& opts,
+                   sg::Assignments* assigns, std::vector<FormulaStat>* formulas) {
+  const auto analysis = sg::analyze_csc(g, assigns->empty() ? nullptr : assigns);
+  if (analysis.satisfied()) return true;
+  std::size_t m = static_cast<std::size_t>(std::max(1, analysis.lower_bound));
+  for (; m <= opts.max_new_signals; ++m) {
+    const encoding::Encoding enc(g, m, analysis.conflicts, analysis.compatible_pairs,
+                                 opts.encode);
+    FormulaStat stat;
+    stat.num_new_signals = m;
+    stat.num_vars = enc.cnf().num_vars();
+    stat.num_clauses = enc.cnf().num_clauses();
+    util::Timer timer;
+    sat::Model model;
+    sat::SolveStats sstats;
+    const sat::Outcome outcome = sat::Solver().solve(enc.cnf(), &model, &sstats, opts.solve);
+    stat.outcome = outcome;
+    stat.backtracks = sstats.backtracks;
+    stat.seconds = timer.seconds();
+    formulas->push_back(stat);
+    if (outcome == sat::Outcome::Sat) {
+      sg::Assignments fresh(g.num_states());
+      enc.decode(model, &fresh, "rescue");
+      for (std::size_t k = 0; k < fresh.num_signals(); ++k) {
+        std::vector<sg::V4> values(fresh.values(k));
+        assigns->add_signal("csc" + std::to_string(g.num_signals() + assigns->num_signals()),
+                            std::move(values));
+      }
+      return true;
+    }
+    if (outcome == sat::Outcome::Limit) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::size_t derive_all_logic(const sg::StateGraph& g, const logic::MinimizeOptions& opts,
+                             std::vector<std::pair<std::string, logic::Cover>>* covers) {
+  std::size_t total = 0;
+  for (sg::SignalId s = 0; s < g.num_signals(); ++s) {
+    if (g.is_input(s)) continue;
+    const logic::SopSpec spec = logic::extract_next_state(g, s);
+    logic::Cover cover = logic::minimize(spec, opts);
+    total += cover.literal_count();
+    if (covers != nullptr) covers->emplace_back(g.signal(s).name, std::move(cover));
+  }
+  return total;
+}
+
+SynthesisResult modular_synthesis(const sg::StateGraph& input, const SynthesisOptions& opts) {
+  util::Timer timer;
+  SynthesisResult result;
+
+  sg::StateGraph g = has_silent_edges(input) ? sg::contract_silent(input) : input;
+  result.initial_states = g.num_states();
+  result.initial_signals = g.num_signals();
+
+  bool failed = false;
+  for (int round = 1; round <= opts.max_rounds; ++round) {
+    if (sg::analyze_csc(g).satisfied()) break;
+    result.rounds = round;
+
+    sg::Assignments assigns(g.num_states());
+
+    // Figure 6 main loop: one module per output signal.
+    for (sg::SignalId o = 0; o < g.num_signals(); ++o) {
+      if (g.is_input(o)) continue;
+
+      const InputSetResult isr = determine_input_set(g, o, assigns, opts.input_set);
+      const ModuleGraph module = build_module(g, o, isr, assigns);
+
+      ModuleReport report;
+      report.output = g.signal(o).name;
+      report.round = round;
+      report.input_set_size = isr.kept.count() - 1;  // excluding o itself
+      report.module_states = module.proj.graph.num_states();
+      report.module_conflicts = module.conflicts.size();
+
+      if (!module.conflicts.empty()) {
+        const PartitionSatResult psr = partition_sat(module, "m", opts.sat);
+        report.formulas = psr.formulas;
+        if (psr.success) {
+          report.new_signals = psr.module_assignments.num_signals();
+          propagate(module, psr.module_assignments, &assigns,
+                    /*name_offset=*/g.num_signals());
+        } else {
+          result.failure_reason =
+              "partition SAT hit its limit for output " + report.output;
+        }
+      }
+      result.modules.push_back(std::move(report));
+    }
+
+    if (assigns.empty()) {
+      // No module saw a conflict, yet the complete graph has some:
+      // projections can merge conflicting states (§3.4 worst case).
+      ModuleReport report;
+      report.output = "(rescue: complete graph)";
+      report.round = round;
+      report.module_states = g.num_states();
+      const bool ok = rescue_direct(g, opts.sat, &assigns, &report.formulas);
+      report.new_signals = assigns.num_signals();
+      report.module_conflicts = sg::analyze_csc(g).conflicts.size();
+      result.modules.push_back(std::move(report));
+      if (!ok || assigns.empty()) {
+        if (result.failure_reason.empty()) {
+          result.failure_reason = "unable to resolve residual CSC conflicts";
+        }
+        failed = true;
+        break;
+      }
+    }
+
+    const sg::Expansion ex = sg::expand(g, assigns);
+    g = ex.graph;
+  }
+
+  const auto final_analysis = sg::analyze_csc(g);
+  result.success = !failed && final_analysis.satisfied();
+  if (result.success) result.failure_reason.clear();  // transient module limits recovered
+  if (!result.success && result.failure_reason.empty()) {
+    result.failure_reason = "CSC conflicts remain after " + std::to_string(opts.max_rounds) +
+                            " rounds";
+  }
+
+  result.final_states = g.num_states();
+  result.final_signals = g.num_signals();
+  result.final_graph = std::move(g);
+
+  if (result.success && opts.derive_logic) {
+    result.total_literals =
+        derive_all_logic(result.final_graph, opts.minimize, &result.covers);
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+SynthesisResult modular_synthesis(const stg::Stg& stg, const SynthesisOptions& opts) {
+  return modular_synthesis(sg::StateGraph::from_stg(stg, opts.build), opts);
+}
+
+}  // namespace mps::core

@@ -1,0 +1,120 @@
+#include "logic/cube.hpp"
+
+#include "util/common.hpp"
+
+namespace mps::logic {
+
+Cube Cube::minterm(const util::BitVec& code) {
+  Cube c(code.size());
+  for (std::size_t v = 0; v < code.size(); ++v) c.set_literal(v, code.test(v));
+  return c;
+}
+
+Cube Cube::from_string(std::string_view pattern) {
+  Cube c(pattern.size());
+  for (std::size_t v = 0; v < pattern.size(); ++v) {
+    switch (pattern[v]) {
+      case '0': c.set_literal(v, false); break;
+      case '1': c.set_literal(v, true); break;
+      case '-':
+      case '2': break;
+      default: throw util::ParseError(std::string("bad cube character: ") + pattern[v]);
+    }
+  }
+  return c;
+}
+
+std::optional<bool> Cube::literal(std::size_t var) const {
+  const bool a0 = bits_.test(2 * var);
+  const bool a1 = bits_.test(2 * var + 1);
+  if (a0 == a1) return std::nullopt;
+  return a1;
+}
+
+void Cube::set_literal(std::size_t var, bool value) {
+  bits_.set(2 * var, !value);
+  bits_.set(2 * var + 1, value);
+}
+
+void Cube::free_var(std::size_t var) {
+  bits_.set(2 * var, true);
+  bits_.set(2 * var + 1, true);
+}
+
+bool Cube::is_empty() const {
+  for (std::size_t v = 0; v < num_vars_; ++v) {
+    if (!bits_.test(2 * v) && !bits_.test(2 * v + 1)) return true;
+  }
+  return false;
+}
+
+std::size_t Cube::literal_count() const {
+  std::size_t n = 0;
+  for (std::size_t v = 0; v < num_vars_; ++v) n += has_literal(v) ? 1 : 0;
+  return n;
+}
+
+bool Cube::contains_code(const util::BitVec& code) const {
+  MPS_ASSERT(code.size() == num_vars_);
+  for (std::size_t v = 0; v < num_vars_; ++v) {
+    if (!allows(v, code.test(v))) return false;
+  }
+  return true;
+}
+
+bool Cube::intersects(const Cube& other) const { return distance(other) == 0; }
+
+Cube Cube::intersect(const Cube& other) const {
+  MPS_ASSERT(num_vars_ == other.num_vars_);
+  Cube c = *this;
+  c.bits_ &= other.bits_;
+  return c;
+}
+
+Cube Cube::supercube(const Cube& other) const {
+  MPS_ASSERT(num_vars_ == other.num_vars_);
+  Cube c = *this;
+  c.bits_ |= other.bits_;
+  return c;
+}
+
+std::size_t Cube::distance(const Cube& other) const {
+  MPS_ASSERT(num_vars_ == other.num_vars_);
+  std::size_t d = 0;
+  for (std::size_t v = 0; v < num_vars_; ++v) {
+    const bool a0 = bits_.test(2 * v) && other.bits_.test(2 * v);
+    const bool a1 = bits_.test(2 * v + 1) && other.bits_.test(2 * v + 1);
+    if (!a0 && !a1) ++d;
+  }
+  return d;
+}
+
+std::optional<Cube> Cube::consensus(const Cube& other) const {
+  if (distance(other) != 1) return std::nullopt;
+  Cube c = intersect(other);
+  for (std::size_t v = 0; v < num_vars_; ++v) {
+    if (!c.bits_.test(2 * v) && !c.bits_.test(2 * v + 1)) {
+      c.free_var(v);
+      break;
+    }
+  }
+  return c;
+}
+
+std::string Cube::to_string() const {
+  std::string s;
+  s.reserve(num_vars_);
+  for (std::size_t v = 0; v < num_vars_; ++v) {
+    const auto lit = literal(v);
+    if (!bits_.test(2 * v) && !bits_.test(2 * v + 1)) {
+      s.push_back('x');  // empty part
+    } else if (!lit.has_value()) {
+      s.push_back('-');
+    } else {
+      s.push_back(*lit ? '1' : '0');
+    }
+  }
+  return s;
+}
+
+}  // namespace mps::logic

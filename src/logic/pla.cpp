@@ -1,0 +1,96 @@
+#include "logic/pla.hpp"
+
+#include <sstream>
+
+#include "util/common.hpp"
+#include "util/text.hpp"
+
+namespace mps::logic {
+
+std::string write_pla(const Cover& cover, const std::vector<std::string>& input_names) {
+  std::ostringstream out;
+  out << ".i " << cover.num_vars() << "\n.o 1\n";
+  if (!input_names.empty()) {
+    MPS_ASSERT(input_names.size() == cover.num_vars());
+    out << ".ilb";
+    for (const auto& n : input_names) out << ' ' << n;
+    out << '\n';
+  }
+  out << ".p " << cover.size() << '\n';
+  for (const Cube& c : cover.cubes()) {
+    std::string pat = c.to_string();
+    out << pat << " 1\n";
+  }
+  out << ".e\n";
+  return out.str();
+}
+
+std::string write_pla(const SopSpec& spec) {
+  std::ostringstream out;
+  out << ".i " << spec.num_vars << "\n.o 1\n.type fr\n";
+  for (const auto& code : spec.on) out << code.to_string() << " 1\n";
+  for (const auto& code : spec.off) out << code.to_string() << " 0\n";
+  out << ".e\n";
+  return out.str();
+}
+
+namespace {
+
+/// Expand a cube pattern into minterm codes (bounded).
+void expand_pattern(const std::string& pattern, std::vector<util::BitVec>* out) {
+  std::vector<std::size_t> free_vars;
+  util::BitVec base(pattern.size());
+  for (std::size_t v = 0; v < pattern.size(); ++v) {
+    if (pattern[v] == '1') {
+      base.set(v);
+    } else if (pattern[v] == '-' || pattern[v] == '2') {
+      free_vars.push_back(v);
+    } else if (pattern[v] != '0') {
+      throw util::ParseError(std::string("bad PLA cube character: ") + pattern[v]);
+    }
+  }
+  if (free_vars.size() > 16) throw util::ParseError("PLA cube expansion too large");
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << free_vars.size()); ++x) {
+    util::BitVec code = base;
+    for (std::size_t i = 0; i < free_vars.size(); ++i) code.set(free_vars[i], (x >> i) & 1);
+    out->push_back(std::move(code));
+  }
+}
+
+}  // namespace
+
+SopSpec parse_pla(std::string_view text) {
+  SopSpec spec;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  long declared_inputs = -1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto view = util::trim(line);
+    if (view.empty() || view[0] == '#') continue;
+    const auto toks = util::split_ws(view);
+    if (toks[0] == ".i") {
+      declared_inputs = std::stol(toks.at(1));
+      spec.num_vars = static_cast<std::size_t>(declared_inputs);
+    } else if (toks[0] == ".o") {
+      if (std::stol(toks.at(1)) != 1) throw util::ParseError("only single-output PLA", line_no);
+    } else if (toks[0][0] == '.') {
+      continue;  // .p/.e/.type/.ilb etc.
+    } else {
+      if (toks.size() != 2) throw util::ParseError("bad PLA cube line", line_no);
+      if (declared_inputs < 0) throw util::ParseError("cube before .i", line_no);
+      if (toks[0].size() != spec.num_vars) throw util::ParseError("cube width mismatch", line_no);
+      if (toks[1] == "1") {
+        expand_pattern(toks[0], &spec.on);
+      } else if (toks[1] == "0") {
+        expand_pattern(toks[0], &spec.off);
+      } else if (toks[1] != "-" && toks[1] != "2") {
+        throw util::ParseError("bad PLA output value: " + toks[1], line_no);
+      }
+    }
+  }
+  return spec;
+}
+
+}  // namespace mps::logic

@@ -1,0 +1,26 @@
+// Berkeley PLA (espresso) format I/O for single-output functions: lets the
+// extracted next-state functions be dumped for inspection or fed to an
+// external espresso for cross-checking, and gives tests a compact fixture
+// syntax.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "logic/minimize.hpp"
+
+namespace mps::logic {
+
+/// Render a minimized cover as a single-output PLA (".i n .o 1", one line
+/// per cube, output column 1).
+std::string write_pla(const Cover& cover, const std::vector<std::string>& input_names = {});
+
+/// Render an ON/OFF spec as PLA with "1" lines for ON and "0" lines for OFF
+/// (type fr).
+std::string write_pla(const SopSpec& spec);
+
+/// Parse a single-output PLA: cube lines "<pattern> 1|0|-".  Lines with
+/// output 1 populate `on`, 0 populate `off`, '-' are ignored (don't care).
+SopSpec parse_pla(std::string_view text);
+
+}  // namespace mps::logic

@@ -1,0 +1,44 @@
+// Umbrella header for the MPS library — Modular Partitioning for
+// Asynchronous Circuit Synthesis (Puri & Gu, DAC 1994), reproduced.
+//
+// Layering (each depends only on those above it):
+//   util   -> petri -> stg -> sg -> {sat, logic} -> encoding -> core
+//   baseline (uses encoding/core), bdd (standalone), benchmarks (stg),
+//   verify (everything).
+#pragma once
+
+#include "baseline/lavagno.hpp"
+#include "baseline/vanbekbergen.hpp"
+#include "bdd/bdd.hpp"
+#include "bdd/csc_bdd.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "benchmarks/generators.hpp"
+#include "core/input_set.hpp"
+#include "core/module_graph.hpp"
+#include "core/partition_sat.hpp"
+#include "core/synthesis.hpp"
+#include "encoding/csc_sat.hpp"
+#include "logic/cover.hpp"
+#include "logic/cube.hpp"
+#include "logic/extract.hpp"
+#include "logic/minimize.hpp"
+#include "logic/pla.hpp"
+#include "petri/analysis.hpp"
+#include "petri/net.hpp"
+#include "sat/cnf.hpp"
+#include "sat/dimacs.hpp"
+#include "sat/local_search.hpp"
+#include "sat/solver.hpp"
+#include "sg/assignments.hpp"
+#include "sg/csc.hpp"
+#include "sg/expand.hpp"
+#include "sg/projection.hpp"
+#include "sg/state_graph.hpp"
+#include "stg/builder.hpp"
+#include "stg/parser.hpp"
+#include "stg/stg.hpp"
+#include "stg/writer.hpp"
+#include "util/bitvec.hpp"
+#include "util/common.hpp"
+#include "util/text.hpp"
+#include "verify/verify.hpp"

@@ -1,0 +1,140 @@
+#include "petri/analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace mps::petri {
+
+bool is_marked_graph(const Net& net) {
+  for (PlaceId p = 0; p < net.num_places(); ++p) {
+    if (net.place_pre(p).size() != 1 || net.place_post(p).size() != 1) return false;
+  }
+  return true;
+}
+
+bool is_free_choice(const Net& net) {
+  // Extended free choice: if two transitions share any fan-in place, their
+  // presets must be identical.
+  for (PlaceId p = 0; p < net.num_places(); ++p) {
+    const auto& post = net.place_post(p);
+    if (post.size() <= 1) continue;
+    auto preset = [&](TransId t) {
+      auto pre = net.trans_pre(t);
+      std::sort(pre.begin(), pre.end());
+      return pre;
+    };
+    const auto first = preset(post[0]);
+    for (std::size_t i = 1; i < post.size(); ++i) {
+      if (preset(post[i]) != first) return false;
+    }
+  }
+  return true;
+}
+
+ReachabilityResult reachability(const Net& net, const Marking& m0,
+                                const ReachabilityOptions& opts) {
+  ReachabilityResult result;
+  std::unordered_map<Marking, std::uint32_t, MarkingHash> index;
+
+  result.markings.push_back(m0);
+  index.emplace(m0, 0);
+
+  std::deque<std::uint32_t> frontier{0};
+  while (!frontier.empty()) {
+    const std::uint32_t from = frontier.front();
+    frontier.pop_front();
+    // Copy: result.markings may reallocate while we push successors.
+    const Marking m = result.markings[from];
+    for (TransId t : net.enabled_transitions(m)) {
+      Marking next = net.fire(m, t);
+      for (PlaceId p = 0; p < net.num_places(); ++p) {
+        if (next.tokens(p) > opts.max_tokens_per_place) result.safe = false;
+      }
+      auto [it, inserted] = index.emplace(next, static_cast<std::uint32_t>(result.markings.size()));
+      if (inserted) {
+        if (result.markings.size() >= opts.max_markings) {
+          result.complete = false;
+          return result;
+        }
+        result.markings.push_back(std::move(next));
+        frontier.push_back(it->second);
+      }
+      result.edges.push_back({from, t, it->second});
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Kosaraju-style SCC count via two BFS passes (graphs here are small).
+std::size_t count_sccs(std::size_t n, const std::vector<ReachabilityResult::Edge>& edges) {
+  if (n == 0) return 0;
+  std::vector<std::vector<std::uint32_t>> fwd(n), rev(n);
+  for (const auto& e : edges) {
+    fwd[e.from].push_back(e.to);
+    rev[e.to].push_back(e.from);
+  }
+  // Iterative DFS finish order.
+  std::vector<int> state(n, 0);  // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  for (std::uint32_t start = 0; start < n; ++start) {
+    if (state[start] != 0) continue;
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack{{start, 0}};
+    state[start] = 1;
+    while (!stack.empty()) {
+      auto& [v, i] = stack.back();
+      if (i < fwd[v].size()) {
+        const std::uint32_t w = fwd[v][i++];
+        if (state[w] == 0) {
+          state[w] = 1;
+          stack.emplace_back(w, 0);
+        }
+      } else {
+        state[v] = 2;
+        order.push_back(v);
+        stack.pop_back();
+      }
+    }
+  }
+  // Reverse pass in decreasing finish order.
+  std::vector<bool> seen(n, false);
+  std::size_t sccs = 0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (seen[*it]) continue;
+    ++sccs;
+    std::vector<std::uint32_t> stack{*it};
+    seen[*it] = true;
+    while (!stack.empty()) {
+      const std::uint32_t v = stack.back();
+      stack.pop_back();
+      for (std::uint32_t w : rev[v]) {
+        if (!seen[w]) {
+          seen[w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return sccs;
+}
+
+}  // namespace
+
+bool is_strongly_connected(const ReachabilityResult& reach) {
+  return count_sccs(reach.markings.size(), reach.edges) == 1;
+}
+
+bool is_live(const Net& net, const ReachabilityResult& reach) {
+  if (!reach.complete) return false;
+  std::vector<bool> fires(net.num_transitions(), false);
+  for (const auto& e : reach.edges) fires[e.trans] = true;
+  if (std::find(fires.begin(), fires.end(), false) != fires.end()) return false;
+  // For cyclic specifications: single SCC + every transition firing somewhere
+  // implies every transition remains fireable from everywhere.
+  return is_strongly_connected(reach);
+}
+
+}  // namespace mps::petri

@@ -1,0 +1,34 @@
+#include "sat/cnf.hpp"
+
+#include <algorithm>
+
+namespace mps::sat {
+
+void Cnf::add_clause(std::vector<Lit> lits) {
+  // Normalize: sort, dedup, drop tautologies (x ∨ ~x).
+  std::sort(lits.begin(), lits.end(), [](Lit a, Lit b) { return a.x < b.x; });
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+    if (lits[i].var() == lits[i + 1].var()) return;  // tautology
+  }
+  for (const Lit l : lits) MPS_ASSERT(l.var() < num_vars_);
+  num_literals_ += lits.size();
+  clauses_.push_back(std::move(lits));
+}
+
+bool Cnf::satisfied_by(const Model& m) const {
+  MPS_ASSERT(m.size() >= num_vars_);
+  for (const auto& clause : clauses_) {
+    bool sat = false;
+    for (const Lit l : clause) {
+      if (m[l.var()] != l.negated()) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+}  // namespace mps::sat

@@ -1,0 +1,83 @@
+#include "sat/dimacs.hpp"
+
+#include <sstream>
+
+#include "util/text.hpp"
+
+namespace {
+
+long parse_long(const std::string& tok, int line_no) {
+  try {
+    std::size_t used = 0;
+    const long v = std::stol(tok, &used);
+    if (used != tok.size()) throw std::invalid_argument(tok);
+    return v;
+  } catch (const std::exception&) {
+    throw mps::util::ParseError("expected an integer, got '" + tok + "'", line_no);
+  }
+}
+
+}  // namespace
+
+namespace mps::sat {
+
+Cnf parse_dimacs(std::string_view text) {
+  Cnf cnf;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  long declared_vars = -1;
+  long declared_clauses = -1;
+  std::vector<Lit> clause;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto view = util::trim(line);
+    if (view.empty() || view[0] == 'c') continue;
+    if (view[0] == 'p') {
+      const auto toks = util::split_ws(view);
+      if (toks.size() != 4 || toks[1] != "cnf") {
+        throw util::ParseError("bad DIMACS header", line_no);
+      }
+      declared_vars = parse_long(toks[2], line_no);
+      declared_clauses = parse_long(toks[3], line_no);
+      cnf.new_vars(static_cast<std::size_t>(declared_vars));
+      continue;
+    }
+    if (declared_vars < 0) throw util::ParseError("clause before header", line_no);
+    for (const auto& tok : util::split_ws(view)) {
+      const long v = parse_long(tok, line_no);
+      if (v == 0) {
+        cnf.add_clause(clause);
+        clause.clear();
+      } else {
+        const long var = v > 0 ? v : -v;
+        if (var > declared_vars) throw util::ParseError("variable out of range: " + tok, line_no);
+        clause.push_back(Lit::make(static_cast<Var>(var - 1), v < 0));
+      }
+    }
+  }
+  if (!clause.empty()) cnf.add_clause(clause);  // tolerate a missing final 0
+  if (declared_clauses >= 0 && static_cast<long>(cnf.num_clauses()) > declared_clauses) {
+    // More clauses than declared is accepted (some generators undercount),
+    // but fewer indicates truncation — normalization may legitimately drop
+    // tautologies, so only a gross mismatch is fatal.
+  }
+  return cnf;
+}
+
+std::string write_dimacs(const Cnf& cnf, const std::string& comment) {
+  std::ostringstream out;
+  if (!comment.empty()) out << "c " << comment << '\n';
+  out << "p cnf " << cnf.num_vars() << ' ' << cnf.num_clauses() << '\n';
+  for (const auto& clause : cnf.clauses()) {
+    for (const Lit l : clause) {
+      out << (l.negated() ? -static_cast<long>(l.var() + 1)
+                          : static_cast<long>(l.var() + 1))
+          << ' ';
+    }
+    out << "0\n";
+  }
+  return out.str();
+}
+
+}  // namespace mps::sat

@@ -1,0 +1,19 @@
+// DIMACS CNF reader/writer, so encoded CSC instances can be exported to
+// (or cross-checked against) external SAT solvers.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sat/cnf.hpp"
+
+namespace mps::sat {
+
+/// Parse DIMACS text ("p cnf V C" header, clauses terminated by 0).
+/// Throws util::ParseError on malformed input.
+Cnf parse_dimacs(std::string_view text);
+
+/// Render `cnf` in DIMACS format (with an optional comment line).
+std::string write_dimacs(const Cnf& cnf, const std::string& comment = {});
+
+}  // namespace mps::sat

@@ -1,0 +1,138 @@
+#include "sat/local_search.hpp"
+
+#include <algorithm>
+
+#include "util/common.hpp"
+
+namespace mps::sat {
+
+namespace {
+
+/// Book-keeping for WalkSAT: true-literal counts per clause, occurrence
+/// lists, and the set of unsatisfied clauses with positions for O(1)
+/// removal.
+struct WalkState {
+  explicit WalkState(const Cnf& cnf) : cnf(cnf) {
+    occur.assign(2 * cnf.num_vars(), {});
+    for (std::uint32_t ci = 0; ci < cnf.num_clauses(); ++ci) {
+      for (const Lit l : cnf.clause(ci)) occur[l.x].push_back(ci);
+    }
+    true_count.assign(cnf.num_clauses(), 0);
+    unsat_pos.assign(cnf.num_clauses(), -1);
+  }
+
+  void init(const Model& m) {
+    unsat.clear();
+    std::fill(unsat_pos.begin(), unsat_pos.end(), -1);
+    for (std::uint32_t ci = 0; ci < cnf.num_clauses(); ++ci) {
+      int count = 0;
+      for (const Lit l : cnf.clause(ci)) count += m[l.var()] != l.negated();
+      true_count[ci] = count;
+      if (count == 0) push_unsat(ci);
+    }
+  }
+
+  void push_unsat(std::uint32_t ci) {
+    unsat_pos[ci] = static_cast<int>(unsat.size());
+    unsat.push_back(ci);
+  }
+  void pop_unsat(std::uint32_t ci) {
+    const int pos = unsat_pos[ci];
+    MPS_ASSERT(pos >= 0);
+    const std::uint32_t last = unsat.back();
+    unsat[pos] = last;
+    unsat_pos[last] = pos;
+    unsat.pop_back();
+    unsat_pos[ci] = -1;
+  }
+
+  /// Flip variable v in model m, updating counts.
+  void flip(Model& m, Var v) {
+    m[v] = !m[v];
+    const Lit now_true = Lit::make(v, !m[v] ? true : false);  // literal that became true
+    const Lit now_false = ~now_true;
+    for (const std::uint32_t ci : occur[now_true.x]) {
+      if (++true_count[ci] == 1) pop_unsat(ci);
+    }
+    for (const std::uint32_t ci : occur[now_false.x]) {
+      if (--true_count[ci] == 0) push_unsat(ci);
+    }
+  }
+
+  /// Number of clauses that become unsatisfied if v flips ("break count").
+  int break_count(const Model& m, Var v) const {
+    const Lit true_lit = Lit::make(v, !m[v]);  // the literal of v that is currently true
+    int breaks = 0;
+    for (const std::uint32_t ci : occur[true_lit.x]) {
+      if (true_count[ci] == 1) ++breaks;
+    }
+    return breaks;
+  }
+
+  const Cnf& cnf;
+  std::vector<std::vector<std::uint32_t>> occur;
+  std::vector<int> true_count;
+  std::vector<std::uint32_t> unsat;
+  std::vector<int> unsat_pos;
+};
+
+}  // namespace
+
+bool walksat(const Cnf& cnf, Model* model, LocalSearchStats* stats,
+             const LocalSearchOptions& opts) {
+  util::Timer timer;
+  for (const auto& clause : cnf.clauses()) {
+    if (clause.empty()) return false;  // trivially UNSAT: report "don't know"
+  }
+
+  util::Rng rng(opts.seed);
+  WalkState state(cnf);
+  Model m(cnf.num_vars());
+  std::int64_t total_flips = 0;
+
+  for (int attempt = 0; attempt < opts.max_tries; ++attempt) {
+    for (Var v = 0; v < cnf.num_vars(); ++v) m[v] = rng.chance(0.5);
+    state.init(m);
+
+    for (std::int64_t flip = 0; flip < opts.max_flips; ++flip) {
+      if (state.unsat.empty()) {
+        if (model != nullptr) *model = m;
+        if (stats != nullptr) {
+          stats->flips = total_flips;
+          stats->tries = attempt + 1;
+          stats->seconds = timer.seconds();
+        }
+        MPS_ASSERT(cnf.satisfied_by(m));
+        return true;
+      }
+      const std::uint32_t ci = state.unsat[rng.below(state.unsat.size())];
+      const auto& clause = cnf.clause(ci);
+      Var chosen;
+      if (rng.chance(opts.noise)) {
+        chosen = clause[rng.below(clause.size())].var();
+      } else {
+        // Greedy: minimal break count (ties broken by first occurrence).
+        chosen = clause[0].var();
+        int best = state.break_count(m, chosen);
+        for (std::size_t i = 1; i < clause.size() && best > 0; ++i) {
+          const int b = state.break_count(m, clause[i].var());
+          if (b < best) {
+            best = b;
+            chosen = clause[i].var();
+          }
+        }
+      }
+      state.flip(m, chosen);
+      ++total_flips;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->flips = total_flips;
+    stats->tries = opts.max_tries;
+    stats->seconds = timer.seconds();
+  }
+  return false;
+}
+
+}  // namespace mps::sat

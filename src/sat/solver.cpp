@@ -1,0 +1,273 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace mps::sat {
+
+namespace {
+
+constexpr std::int8_t kUnassigned = -1;
+
+/// Internal solver state for one solve() call.
+class Dpll {
+ public:
+  Dpll(const Cnf& cnf, const SolveOptions& opts) : cnf_(cnf), opts_(opts) {
+    const std::size_t n = cnf.num_vars();
+    assign_.assign(n, kUnassigned);
+    watches_.assign(2 * n, {});
+    score_.assign(n, 0.0);
+    polarity_.assign(n, 0);
+    activity_.assign(n, 0.0);
+    rng_ = util::Rng(opts.seed);
+
+    // Copy clauses, set up watches; unit clauses go straight on the trail.
+    for (const auto& clause : cnf.clauses()) {
+      if (clause.empty()) {
+        trivially_unsat_ = true;
+        return;
+      }
+      if (clause.size() == 1) {
+        if (!enqueue(clause[0])) {
+          trivially_unsat_ = true;
+          return;
+        }
+        continue;
+      }
+      clauses_.push_back(clause);
+      const std::uint32_t ci = static_cast<std::uint32_t>(clauses_.size() - 1);
+      watches_[clause[0].x].push_back(ci);
+      watches_[clause[1].x].push_back(ci);
+      // Static branching score: short clauses weigh more (Jeroslow-Wang).
+      const double w = std::pow(2.0, -static_cast<double>(clause.size()));
+      for (const Lit l : clause) {
+        score_[l.var()] += w;
+        polarity_[l.var()] += l.negated() ? -1 : 1;
+      }
+    }
+  }
+
+  Outcome run(Model* model, SolveStats* stats) {
+    util::Timer timer;
+    Outcome outcome = trivially_unsat_ ? Outcome::Unsat : search(timer);
+    if (outcome == Outcome::Sat && model != nullptr) {
+      model->assign(cnf_.num_vars(), false);
+      for (Var v = 0; v < cnf_.num_vars(); ++v) (*model)[v] = assign_[v] == 1;
+    }
+    if (stats != nullptr) {
+      stats->decisions = decisions_;
+      stats->backtracks = backtracks_;
+      stats->propagations = propagations_;
+      stats->restarts = restarts_;
+      stats->seconds = timer.seconds();
+    }
+    return outcome;
+  }
+
+ private:
+  bool value_true(Lit l) const { return assign_[l.var()] == (l.negated() ? 0 : 1); }
+  bool value_false(Lit l) const { return assign_[l.var()] == (l.negated() ? 1 : 0); }
+  bool unassigned(Lit l) const { return assign_[l.var()] == kUnassigned; }
+
+  /// Put `l` on the trail; false if it contradicts the current assignment.
+  bool enqueue(Lit l) {
+    if (value_false(l)) return false;
+    if (value_true(l)) return true;
+    assign_[l.var()] = l.negated() ? 0 : 1;
+    trail_.push_back(l);
+    return true;
+  }
+
+  /// Two-watched-literal unit propagation.  Returns false on conflict and
+  /// records the conflicting clause for activity bumping.
+  bool propagate() {
+    while (qhead_ < trail_.size()) {
+      const Lit p = trail_[qhead_++];
+      ++propagations_;
+      // Clauses watching ~p must find a new watch or become unit/conflict.
+      const Lit false_lit = ~p;
+      auto& watch_list = watches_[false_lit.x];
+      std::size_t keep = 0;
+      bool conflict = false;
+      for (std::size_t wi = 0; wi < watch_list.size(); ++wi) {
+        const std::uint32_t ci = watch_list[wi];
+        if (conflict) {
+          watch_list[keep++] = ci;
+          continue;
+        }
+        auto& clause = clauses_[ci];
+        // Ensure the false literal is at position 1.
+        if (clause[0] == false_lit) std::swap(clause[0], clause[1]);
+        if (value_true(clause[0])) {
+          watch_list[keep++] = ci;  // already satisfied
+          continue;
+        }
+        // Look for a replacement watch.
+        bool moved = false;
+        for (std::size_t k = 2; k < clause.size(); ++k) {
+          if (!value_false(clause[k])) {
+            std::swap(clause[1], clause[k]);
+            watches_[clause[1].x].push_back(ci);
+            moved = true;
+            break;
+          }
+        }
+        if (moved) continue;  // watch moved away, drop from this list
+        // Clause is unit (or conflicting) on clause[0].
+        watch_list[keep++] = ci;
+        if (!enqueue(clause[0])) {
+          conflict = true;
+          conflict_clause_ = ci;
+        }
+      }
+      watch_list.resize(keep);
+      if (conflict) return false;
+    }
+    return true;
+  }
+
+  /// Undo the trail down to `target` length.
+  void undo_to(std::size_t target) {
+    while (trail_.size() > target) {
+      assign_[trail_.back().var()] = kUnassigned;
+      trail_.pop_back();
+    }
+    qhead_ = trail_.size();
+  }
+
+  Lit pick_branch() {
+    // Occasional random decisions diversify the search across restarts.
+    if (rng_.chance(0.02)) {
+      std::size_t unassigned = 0;
+      for (Var v = 0; v < cnf_.num_vars(); ++v) unassigned += assign_[v] == kUnassigned;
+      if (unassigned > 0) {
+        std::uint64_t pick = rng_.below(unassigned);
+        for (Var v = 0; v < cnf_.num_vars(); ++v) {
+          if (assign_[v] == kUnassigned && pick-- == 0) return Lit::make(v, true);
+        }
+      }
+    }
+    Var best = kNoVar;
+    double best_score = -1.0;
+    for (Var v = 0; v < cnf_.num_vars(); ++v) {
+      if (assign_[v] == kUnassigned && score_[v] + activity_[v] > best_score) {
+        best = v;
+        best_score = score_[v] + activity_[v];
+      }
+    }
+    if (best == kNoVar) return Lit{};
+    // Prefer FALSE first: CSC-encoding variables at 0 mean state-signal
+    // value Zero, so solutions keep minimal excitation regions (fewest
+    // state splits on expansion).
+    return Lit::make(best, true);
+  }
+
+  /// Conflict-driven activity (VSIDS-style bump/decay) — adaptive
+  /// branching without clause learning, in the branch-and-bound spirit of
+  /// the original SIS solver.
+  void bump_conflict_activity() {
+    if (conflict_clause_ == kNoClause) return;
+    for (const Lit l : clauses_[conflict_clause_]) {
+      activity_[l.var()] += activity_inc_;
+    }
+    activity_inc_ *= 1.05;
+    if (activity_inc_ > 1e100) {
+      for (auto& a : activity_) a *= 1e-100;
+      activity_inc_ *= 1e-100;
+    }
+  }
+
+  Outcome search(const util::Timer& timer) {
+    struct Decision {
+      Lit lit;
+      std::size_t trail_size;  // trail length *before* the decision
+      bool flipped;
+    };
+    std::vector<Decision> decisions;
+    const std::size_t root_trail = trail_.size();  // units assigned up front
+    std::int64_t restart_budget = opts_.restart_interval;
+    std::int64_t backtracks_since_restart = 0;
+
+    for (;;) {
+      if (!propagate()) {
+        ++backtracks_;
+        ++backtracks_since_restart;
+        bump_conflict_activity();
+        if (opts_.max_backtracks >= 0 && backtracks_ > opts_.max_backtracks) {
+          return Outcome::Limit;
+        }
+        if ((backtracks_ & 255) == 0 && opts_.time_limit_s > 0 &&
+            timer.seconds() > opts_.time_limit_s) {
+          return Outcome::Limit;
+        }
+        if (opts_.restart_interval > 0 && backtracks_since_restart >= restart_budget) {
+          // Geometric restart: forget decisions, keep activities.
+          decisions.clear();
+          undo_to(root_trail);
+          restart_budget *= 2;
+          backtracks_since_restart = 0;
+          ++restarts_;
+          continue;
+        }
+        // Backtrack to the deepest unflipped decision and flip it.
+        for (;;) {
+          if (decisions.empty()) return Outcome::Unsat;
+          Decision d = decisions.back();
+          decisions.pop_back();
+          undo_to(d.trail_size);
+          if (!d.flipped) {
+            decisions.push_back({~d.lit, d.trail_size, true});
+            const bool ok = enqueue(~d.lit);
+            MPS_ASSERT(ok);
+            break;
+          }
+        }
+        continue;
+      }
+      const Lit branch = pick_branch();
+      if (!branch.valid()) return Outcome::Sat;  // total assignment, all clauses satisfied
+      ++decisions_;
+      decisions.push_back({branch, trail_.size(), false});
+      const bool ok = enqueue(branch);
+      MPS_ASSERT(ok);
+    }
+  }
+
+  const Cnf& cnf_;
+  const SolveOptions& opts_;
+  bool trivially_unsat_ = false;
+
+  std::vector<std::vector<Lit>> clauses_;
+  std::vector<std::vector<std::uint32_t>> watches_;  // indexed by Lit.x
+  std::vector<std::int8_t> assign_;
+  std::vector<Lit> trail_;
+  std::size_t qhead_ = 0;
+  std::vector<double> score_;
+  std::vector<int> polarity_;
+  std::vector<double> activity_;
+  double activity_inc_ = 1.0;
+  static constexpr std::uint32_t kNoClause = 0xFFFFFFFFu;
+  std::uint32_t conflict_clause_ = kNoClause;
+  util::Rng rng_;
+
+  std::int64_t decisions_ = 0;
+  std::int64_t backtracks_ = 0;
+  std::int64_t propagations_ = 0;
+  std::int64_t restarts_ = 0;
+};
+
+}  // namespace
+
+Outcome Solver::solve(const Cnf& cnf, Model* model, SolveStats* stats, const SolveOptions& opts) {
+  Dpll dpll(cnf, opts);
+  const Outcome outcome = dpll.run(model, stats);
+  if (outcome == Outcome::Sat && model != nullptr) {
+    MPS_ASSERT(cnf.satisfied_by(*model));
+  }
+  return outcome;
+}
+
+}  // namespace mps::sat

@@ -1,0 +1,95 @@
+#include "sg/csc.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/common.hpp"
+
+namespace mps::sg {
+
+int ceil_log2(std::size_t n) {
+  MPS_ASSERT(n >= 1);
+  int bits = 0;
+  std::size_t cap = 1;
+  while (cap < n) {
+    cap <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+namespace {
+
+/// The behaviour signature compared between code-equal states.  Two states
+/// with equal codes and equal signatures are CSC-compatible.
+std::string signature(const StateGraph& g, StateId s, const Assignments* assigns,
+                      const CscOptions& opts) {
+  std::string key;
+  if (opts.focus_signal != stg::kNoSignal) {
+    key += g.excited_dir(s, opts.focus_signal, true) ? 'R' : '.';
+    key += g.excited_dir(s, opts.focus_signal, false) ? 'F' : '.';
+  } else {
+    key += g.excited_non_input(s).to_string();
+  }
+  if (assigns != nullptr) {
+    for (std::size_t k = 0; k < assigns->num_signals(); ++k) {
+      const V4 v = assigns->value(k, s);
+      key += v == V4::Up ? 'U' : v == V4::Down ? 'D' : '.';
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+CscResult analyze_csc(const StateGraph& g, const Assignments* assigns, const CscOptions& opts) {
+  CscResult result;
+
+  std::unordered_map<util::BitVec, std::vector<StateId>, util::BitVecHash> by_code;
+  for (StateId s = 0; s < g.num_states(); ++s) by_code[g.code(s)].push_back(s);
+
+  for (const auto& [code, states] : by_code) {
+    const std::size_t k = states.size();
+    if (k < 2) continue;
+    result.num_usc_pairs += k * (k - 1) / 2;
+    result.max_class_size = std::max(result.max_class_size, k);
+
+    std::vector<std::string> sigs(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      sigs[i] = signature(g, states[i], assigns, opts);
+    }
+
+    // Signature groups among states in at least one unresolved conflict:
+    // the states that still need distinguishing.
+    std::unordered_set<std::string> conflict_sigs;
+    bool class_has_conflict = false;
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = i + 1; j < k; ++j) {
+        if (assigns != nullptr && assigns->separates_pair(states[i], states[j])) continue;
+        StateId a = states[i];
+        StateId b = states[j];
+        if (a > b) std::swap(a, b);
+        if (sigs[i] == sigs[j]) {
+          result.compatible_pairs.emplace_back(a, b);
+        } else {
+          result.conflicts.emplace_back(a, b);
+          class_has_conflict = true;
+          conflict_sigs.insert(sigs[i]);
+          conflict_sigs.insert(sigs[j]);
+        }
+      }
+    }
+    if (class_has_conflict) {
+      result.lower_bound = std::max(result.lower_bound, ceil_log2(conflict_sigs.size()));
+    }
+  }
+
+  // Deterministic order regardless of hash iteration.
+  std::sort(result.conflicts.begin(), result.conflicts.end());
+  std::sort(result.compatible_pairs.begin(), result.compatible_pairs.end());
+  return result;
+}
+
+}  // namespace mps::sg

@@ -1,0 +1,54 @@
+// Complete state coding analysis (§2): find the state pairs that violate
+// CSC, the USC pair count, Max_csc and the lower bound on state signals.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sg/assignments.hpp"
+#include "sg/state_graph.hpp"
+
+namespace mps::sg {
+
+struct CscOptions {
+  /// When analysing a *module* graph (a projection for output o), CSC is
+  /// checked against a restricted non-input set; kNoSignal = all non-inputs.
+  /// If set, a pair only conflicts when the excitation or implied value of
+  /// this signal differs (plus any state-signal excitation mismatch).
+  SignalId focus_signal = stg::kNoSignal;
+};
+
+struct CscResult {
+  /// Pairs (a < b) of code-equal states whose non-input behaviour differs
+  /// and which no existing state signal separates.
+  std::vector<std::pair<StateId, StateId>> conflicts;
+  /// Code-equal, unseparated pairs with *identical* behaviour — legal under
+  /// CSC, but new state signals must keep them compatible (equal values or
+  /// full separation) or they would become fresh conflicts; these drive the
+  /// N_usc·c3^m clause term of the §2.1 size model.
+  std::vector<std::pair<StateId, StateId>> compatible_pairs;
+  /// Count of code-equal pairs (unique-state-coding violations), including
+  /// the conflicting ones — N_usc of the §2.1 size model.
+  std::size_t num_usc_pairs = 0;
+  /// Largest set of states sharing one code — Max_csc (paper definition).
+  std::size_t max_class_size = 1;
+  /// max over code classes of ceil(log2(number of excitation-distinct
+  /// groups)) — the number of state signals provably needed.  Tighter than
+  /// the paper's ceil(log2(Max_csc)); see DESIGN.md.
+  int lower_bound = 0;
+
+  bool satisfied() const { return conflicts.empty(); }
+};
+
+/// Analyse `g`; `assigns` (optional) contributes (a) separation — pairs with
+/// stable complementary state-signal values are not conflicts — and (b)
+/// excitation — states with differing state-signal excitation in the same
+/// code class are counted as distinct behaviour groups.
+CscResult analyze_csc(const StateGraph& g, const Assignments* assigns = nullptr,
+                      const CscOptions& opts = {});
+
+/// ceil(log2(n)) for n >= 1.
+int ceil_log2(std::size_t n);
+
+}  // namespace mps::sg

@@ -1,0 +1,159 @@
+#include "sg/projection.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/common.hpp"
+
+namespace mps::sg {
+
+namespace {
+
+/// Plain union-find over state ids.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::uint32_t a, std::uint32_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+}  // namespace
+
+Projection hide_signals(const StateGraph& g, const util::BitVec& hide,
+                        const Assignments* assigns) {
+  MPS_ASSERT(hide.size() == g.num_signals());
+
+  const std::size_t n = g.num_states();
+  UnionFind uf(n);
+  for (StateId s = 0; s < n; ++s) {
+    for (const Edge& e : g.out(s)) {
+      if (e.is_silent() || hide.test(e.sig)) uf.unite(s, e.to);
+    }
+  }
+
+  // Number the classes densely, in order of first member.
+  Projection proj;
+  proj.state_map.assign(n, kNoState);
+  std::vector<StateId> class_rep;  // quotient id -> a representative full state
+  for (StateId s = 0; s < n; ++s) {
+    const StateId root = uf.find(s);
+    if (proj.state_map[root] == kNoState) {
+      proj.state_map[root] = static_cast<StateId>(class_rep.size());
+      class_rep.push_back(root);
+    }
+    proj.state_map[s] = proj.state_map[root];
+  }
+  const std::size_t num_classes = class_rep.size();
+
+  // Kept signal table.
+  std::vector<SignalId> dense(g.num_signals(), stg::kNoSignal);
+  std::vector<SignalInfo> infos;
+  for (SignalId sig = 0; sig < g.num_signals(); ++sig) {
+    if (hide.test(sig)) continue;
+    dense[sig] = static_cast<SignalId>(infos.size());
+    infos.push_back(g.signal(sig));
+    proj.kept.push_back(sig);
+  }
+
+  proj.graph = StateGraph(std::move(infos));
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    util::BitVec code(proj.kept.size());
+    for (std::size_t i = 0; i < proj.kept.size(); ++i) {
+      code.set(i, g.code(class_rep[c]).test(proj.kept[i]));
+    }
+    proj.graph.add_state(std::move(code));
+  }
+  proj.graph.set_initial(proj.state_map[g.initial()]);
+
+  // Kept edges between classes, deduplicated.
+  std::vector<std::unordered_set<std::uint64_t>> seen(num_classes);
+  for (StateId s = 0; s < n; ++s) {
+    // All members of a class must agree on kept-signal values.
+    for (std::size_t i = 0; i < proj.kept.size(); ++i) {
+      MPS_ASSERT(g.code(s).test(proj.kept[i]) ==
+                 proj.graph.code(proj.state_map[s]).test(static_cast<SignalId>(i)));
+    }
+    for (const Edge& e : g.out(s)) {
+      if (e.is_silent() || hide.test(e.sig)) continue;
+      const StateId from = proj.state_map[s];
+      const StateId to = proj.state_map[e.to];
+      MPS_ASSERT(from != to);  // a kept edge changes a kept signal's value
+      const std::uint64_t key =
+          (std::uint64_t{dense[e.sig]} << 33) | (std::uint64_t{e.rise} << 32) | to;
+      if (seen[from].insert(key).second) {
+        proj.graph.add_edge(from, Edge{dense[e.sig], e.rise, to});
+      }
+    }
+  }
+
+  // Merge existing state-signal assignments (Figure 3).
+  if (assigns != nullptr && !assigns->empty()) {
+    proj.assignments = Assignments(num_classes);
+    for (std::size_t k = 0; k < assigns->num_signals(); ++k) {
+      std::vector<V4> merged(num_classes, V4::Zero);
+      std::vector<bool> has_zero(num_classes, false), has_one(num_classes, false),
+          has_up(num_classes, false), has_down(num_classes, false);
+      for (StateId s = 0; s < n; ++s) {
+        const StateId c = proj.state_map[s];
+        switch (assigns->value(k, s)) {
+          case V4::Zero: has_zero[c] = true; break;
+          case V4::One: has_one[c] = true; break;
+          case V4::Up: has_up[c] = true; break;
+          case V4::Down: has_down[c] = true; break;
+        }
+      }
+      // Per-edge directed check (the paper's §3.2 restriction, generalized).
+      for (StateId s = 0; s < n; ++s) {
+        for (const Edge& e : g.out(s)) {
+          if (!(e.is_silent() || hide.test(e.sig))) continue;
+          if (proj.state_map[s] != proj.state_map[e.to]) continue;
+          if (!merge_pair_allowed(assigns->value(k, s), assigns->value(k, e.to))) {
+            proj.assignments_consistent = false;
+          }
+        }
+      }
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        if (has_up[c] && has_down[c]) {
+          // The signal both rises and falls inside the merged state: no
+          // single value exists (the paper's §3.2 Up/Down restriction).
+          proj.assignments_consistent = false;
+          merged[c] = has_one[c] ? V4::One : V4::Zero;
+        } else if (has_up[c]) {
+          merged[c] = V4::Up;  // Figure 3 (f), (g): {0,Up}, {Up,1} -> Up
+        } else if (has_down[c]) {
+          merged[c] = V4::Down;  // Figure 3 (h), (i): {1,Down}, {Down,0} -> Down
+        } else if (has_zero[c] && has_one[c]) {
+          // 0 and 1 in one class with no excitation boundary: inconsistent.
+          proj.assignments_consistent = false;
+          merged[c] = V4::Zero;
+        } else {
+          merged[c] = has_one[c] ? V4::One : V4::Zero;
+        }
+      }
+      proj.assignments.add_signal(assigns->name(k), std::move(merged));
+    }
+  } else {
+    proj.assignments = Assignments(num_classes);
+  }
+
+  return proj;
+}
+
+StateGraph contract_silent(const StateGraph& g) {
+  util::BitVec hide(g.num_signals());  // hide nothing; ε edges contract anyway
+  return hide_signals(g, hide).graph;
+}
+
+}  // namespace mps::sg

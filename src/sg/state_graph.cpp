@@ -1,0 +1,277 @@
+#include "sg/state_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "petri/analysis.hpp"
+#include "util/common.hpp"
+
+namespace mps::sg {
+
+SignalId StateGraph::find_signal(std::string_view name) const {
+  for (SignalId s = 0; s < signals_.size(); ++s) {
+    if (signals_[s].name == name) return s;
+  }
+  return stg::kNoSignal;
+}
+
+SignalId StateGraph::add_signal(const SignalInfo& info, bool value) {
+  signals_.push_back(info);
+  for (auto& code : codes_) code.push_back(value);
+  return static_cast<SignalId>(signals_.size() - 1);
+}
+
+StateId StateGraph::add_state(util::BitVec code) {
+  MPS_ASSERT(code.size() == signals_.size());
+  codes_.push_back(std::move(code));
+  out_.emplace_back();
+  return static_cast<StateId>(codes_.size() - 1);
+}
+
+util::BitVec StateGraph::excited(StateId s) const {
+  util::BitVec bits(signals_.size());
+  for (const Edge& e : out_[s]) {
+    if (!e.is_silent()) bits.set(e.sig);
+  }
+  return bits;
+}
+
+util::BitVec StateGraph::excited_non_input(StateId s) const {
+  util::BitVec bits = excited(s);
+  for (SignalId sig = 0; sig < signals_.size(); ++sig) {
+    if (signals_[sig].is_input) bits.reset(sig);
+  }
+  return bits;
+}
+
+bool StateGraph::excited_dir(StateId s, SignalId sig, bool rise) const {
+  for (const Edge& e : out_[s]) {
+    if (!e.is_silent() && e.sig == sig && e.rise == rise) return true;
+  }
+  return false;
+}
+
+std::size_t StateGraph::num_edges() const {
+  std::size_t n = 0;
+  for (const auto& v : out_) n += v.size();
+  return n;
+}
+
+std::size_t StateGraph::num_concurrent_pairs() const {
+  std::size_t n = 0;
+  for (StateId s = 0; s < num_states(); ++s) {
+    const std::size_t k = excited(s).count();
+    n += k >= 2 ? k * (k - 1) / 2 : 0;
+  }
+  return n;
+}
+
+std::vector<std::vector<StateId>> StateGraph::predecessors() const {
+  std::vector<std::vector<StateId>> pred(num_states());
+  for (StateId s = 0; s < num_states(); ++s) {
+    for (const Edge& e : out_[s]) pred[e.to].push_back(s);
+  }
+  return pred;
+}
+
+void StateGraph::check_consistency() const {
+  MPS_ASSERT(initial_ < num_states() || num_states() == 0);
+  for (StateId s = 0; s < num_states(); ++s) {
+    MPS_ASSERT(codes_[s].size() == signals_.size());
+    for (const Edge& e : out_[s]) {
+      MPS_ASSERT(e.to < num_states());
+      if (e.is_silent()) {
+        // ε edges must not change any signal value.
+        MPS_ASSERT(codes_[s] == codes_[e.to]);
+        continue;
+      }
+      MPS_ASSERT(e.sig < signals_.size());
+      // Consistent state assignment (§2): a+ goes 0 -> 1, a- goes 1 -> 0,
+      // and all other signals keep their value.
+      MPS_ASSERT(codes_[s].test(e.sig) == !e.rise);
+      MPS_ASSERT(codes_[e.to].test(e.sig) == e.rise);
+      util::BitVec diff = codes_[s] ^ codes_[e.to];
+      MPS_ASSERT(diff.count() == 1);
+    }
+  }
+}
+
+namespace {
+
+/// Infer the value of every signal in every marking (consistent state
+/// assignment).  Relations between adjacent markings: non-s edges preserve
+/// s's value; s+ / s- edges force both endpoint values; s~ flips.
+std::vector<util::BitVec> infer_codes(const stg::Stg& stg,
+                                      const petri::ReachabilityResult& reach) {
+  const std::size_t num_states = reach.markings.size();
+  const std::size_t num_signals = stg.num_signals();
+
+  // Adjacency with relation info per signal.
+  struct Adj {
+    std::uint32_t other;
+    std::uint8_t rel;      // 0 = equal, 1 = flip (s~), 2 = forced (dir gives values)
+    bool rise;             // for rel==2: edge is s+ (from=0,to=1) or s- (1 -> 0)
+    bool forward;          // true if this entry is (from -> to)
+  };
+
+  std::vector<util::BitVec> codes(num_states, util::BitVec(num_signals));
+
+  for (stg::SignalId s = 0; s < num_signals; ++s) {
+    if (stg.signal_kind(s) == stg::SignalKind::Dummy) continue;
+    // Build the per-signal relation graph (undirected propagation).
+    std::vector<std::vector<Adj>> adj(num_states);
+    bool any_forced = false;
+    for (const auto& e : reach.edges) {
+      const stg::Label& l = stg.label(e.trans);
+      std::uint8_t rel = 0;
+      bool rise = false;
+      if (l.sig == s && !l.is_silent()) {
+        if (l.pol == stg::Polarity::Toggle) {
+          rel = 1;
+        } else {
+          rel = 2;
+          rise = l.pol == stg::Polarity::Rise;
+          any_forced = true;
+        }
+      }
+      adj[e.from].push_back({e.to, rel, rise, true});
+      adj[e.to].push_back({e.from, rel, rise, false});
+    }
+
+    std::vector<int> val(num_states, -1);
+    std::deque<std::uint32_t> queue;
+    auto assign = [&](std::uint32_t state, int v) {
+      if (val[state] == -1) {
+        val[state] = v;
+        queue.push_back(state);
+      } else if (val[state] != v) {
+        throw util::SemanticsError("STG '" + stg.name() +
+                                   "' has no consistent state assignment for signal " +
+                                   stg.signal_name(s));
+      }
+    };
+
+    if (any_forced) {
+      for (const auto& e : reach.edges) {
+        const stg::Label& l = stg.label(e.trans);
+        if (l.sig == s && (l.pol == stg::Polarity::Rise || l.pol == stg::Polarity::Fall)) {
+          const bool rise = l.pol == stg::Polarity::Rise;
+          assign(e.from, rise ? 0 : 1);
+          assign(e.to, rise ? 1 : 0);
+        }
+      }
+    } else {
+      // Signal never rises/falls explicitly: seed from the declared initial
+      // value, defaulting to 0.
+      const auto declared = stg.initial_value(s);
+      assign(0, declared.value_or(false) ? 1 : 0);
+    }
+
+    while (!queue.empty()) {
+      const std::uint32_t u = queue.front();
+      queue.pop_front();
+      for (const Adj& a : adj[u]) {
+        switch (a.rel) {
+          case 0:
+            assign(a.other, val[u]);
+            break;
+          case 1:
+            assign(a.other, 1 - val[u]);
+            break;
+          case 2: {
+            // Forced edge: endpoint values are fixed regardless of val[u];
+            // (already seeded above) but re-derive for safety.
+            const int from_v = a.rise ? 0 : 1;
+            assign(a.other, a.forward ? 1 - from_v : from_v);
+            break;
+          }
+        }
+      }
+    }
+
+    for (std::uint32_t st = 0; st < num_states; ++st) {
+      if (val[st] == -1) {
+        // Unreached by propagation: disconnected component (cannot happen for
+        // reachability graphs, which are rooted) — but stay defensive.
+        throw util::SemanticsError("signal value underdetermined for " + stg.signal_name(s));
+      }
+      codes[st].set(s, val[st] == 1);
+    }
+  }
+  return codes;
+}
+
+}  // namespace
+
+StateGraph StateGraph::from_stg(const stg::Stg& stg, const BuildOptions& opts) {
+  petri::ReachabilityOptions ropts;
+  ropts.max_markings = opts.max_states;
+  ropts.max_tokens_per_place = opts.require_safe ? 1 : 255;
+  const auto reach = petri::reachability(stg.net(), stg.initial_marking(), ropts);
+  if (!reach.complete) {
+    throw util::LimitError("state graph of '" + stg.name() + "' exceeds " +
+                           std::to_string(opts.max_states) + " states");
+  }
+  if (opts.require_safe && !reach.safe) {
+    throw util::SemanticsError("STG '" + stg.name() + "' is not safe (a place holds >1 token)");
+  }
+
+  // Signal table: all non-dummy signals, preserving STG ids.  Dummy signals
+  // occupy no code column; their transitions become silent edges.  To keep
+  // SignalId stable between the STG and the state graph we require dummies
+  // to come after real signals or map densely; simplest is to map densely
+  // and remember the mapping.
+  std::vector<SignalInfo> infos;
+  std::vector<SignalId> dense(stg.num_signals(), stg::kNoSignal);
+  for (stg::SignalId s = 0; s < stg.num_signals(); ++s) {
+    if (stg.signal_kind(s) == stg::SignalKind::Dummy) continue;
+    dense[s] = static_cast<SignalId>(infos.size());
+    infos.push_back(SignalInfo{stg.signal_name(s), stg.is_input(s)});
+  }
+
+  const auto codes = infer_codes(stg, reach);
+
+  StateGraph g(std::move(infos));
+  for (std::uint32_t st = 0; st < reach.markings.size(); ++st) {
+    // Re-pack the code to drop dummy columns.
+    util::BitVec packed(g.num_signals());
+    for (stg::SignalId s = 0; s < stg.num_signals(); ++s) {
+      if (dense[s] != stg::kNoSignal) packed.set(dense[s], codes[st].test(s));
+    }
+    g.add_state(std::move(packed));
+  }
+  g.set_initial(0);
+
+  for (const auto& e : reach.edges) {
+    const stg::Label& l = stg.label(e.trans);
+    Edge edge;
+    edge.to = e.to;
+    if (l.is_silent()) {
+      edge.sig = stg::kNoSignal;
+    } else {
+      edge.sig = dense[l.sig];
+      edge.rise = l.pol == stg::Polarity::Toggle ? g.code(e.to).test(dense[l.sig])
+                                                 : l.pol == stg::Polarity::Rise;
+    }
+    g.add_edge(e.from, edge);
+  }
+
+  g.check_consistency();
+  return g;
+}
+
+std::vector<std::vector<StateId>> code_classes(const StateGraph& g) {
+  std::unordered_map<util::BitVec, std::vector<StateId>, util::BitVecHash> by_code;
+  for (StateId s = 0; s < g.num_states(); ++s) by_code[g.code(s)].push_back(s);
+  std::vector<std::vector<StateId>> classes;
+  for (auto& [code, states] : by_code) {
+    if (states.size() >= 2) classes.push_back(std::move(states));
+  }
+  // Deterministic order: by smallest member.
+  std::sort(classes.begin(), classes.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+  return classes;
+}
+
+}  // namespace mps::sg

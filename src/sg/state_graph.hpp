@@ -1,0 +1,110 @@
+// State graphs (§2): the finite automaton of all reachable STG markings,
+// with a consistent binary code per state.
+//
+// A StateGraph is self-contained (it carries its own signal table) because
+// synthesis repeatedly derives new graphs — projections, quotients and
+// expansions — whose signal sets differ from the source STG's.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "petri/net.hpp"
+#include "stg/stg.hpp"
+#include "util/bitvec.hpp"
+
+namespace mps::sg {
+
+using StateId = std::uint32_t;
+using stg::SignalId;
+inline constexpr StateId kNoState = 0xFFFFFFFFu;
+
+/// One labelled edge of the state graph: firing a rise/fall of `sig`
+/// (or a silent ε step when sig == stg::kNoSignal).
+struct Edge {
+  SignalId sig = stg::kNoSignal;
+  bool rise = false;  ///< meaningless for silent edges
+  StateId to = kNoState;
+
+  bool is_silent() const { return sig == stg::kNoSignal; }
+  bool operator==(const Edge&) const = default;
+};
+
+struct SignalInfo {
+  std::string name;
+  bool is_input = false;
+};
+
+struct BuildOptions {
+  std::size_t max_states = 1u << 20;
+  /// Require a safe net (every reachable marking 0/1 tokens per place).
+  bool require_safe = true;
+};
+
+class StateGraph {
+ public:
+  StateGraph() = default;
+  explicit StateGraph(std::vector<SignalInfo> signals) : signals_(std::move(signals)) {}
+
+  /// Exhaustive reachability + consistent-code inference (§2).  Throws
+  /// util::SemanticsError if the STG admits no consistent state assignment
+  /// (e.g. a+ enabled in a state where a is already 1), util::LimitError on
+  /// state explosion beyond opts.max_states.  Dummy/ε transitions are kept
+  /// as silent edges; see sg::contract_silent() to remove them.
+  static StateGraph from_stg(const stg::Stg& stg, const BuildOptions& opts = {});
+
+  // --- signals ---------------------------------------------------------
+  std::size_t num_signals() const { return signals_.size(); }
+  const SignalInfo& signal(SignalId s) const { return signals_[s]; }
+  const std::vector<SignalInfo>& signals() const { return signals_; }
+  bool is_input(SignalId s) const { return signals_[s].is_input; }
+  SignalId find_signal(std::string_view name) const;
+  /// Append a signal column; every existing state code gets `value` for it.
+  SignalId add_signal(const SignalInfo& info, bool value = false);
+
+  // --- states & edges ---------------------------------------------------
+  std::size_t num_states() const { return codes_.size(); }
+  StateId initial() const { return initial_; }
+  void set_initial(StateId s) { initial_ = s; }
+
+  StateId add_state(util::BitVec code);
+  void add_edge(StateId from, const Edge& e) { out_[from].push_back(e); }
+
+  const util::BitVec& code(StateId s) const { return codes_[s]; }
+  bool value(StateId s, SignalId sig) const { return codes_[s].test(sig); }
+  const std::vector<Edge>& out(StateId s) const { return out_[s]; }
+
+  /// Signals excited in `s` (those with an outgoing rise/fall edge).
+  util::BitVec excited(StateId s) const;
+  /// Non-input signals excited in `s` (the CSC-relevant set).
+  util::BitVec excited_non_input(StateId s) const;
+  /// True if `sig` has an outgoing edge at `s` with the given direction.
+  bool excited_dir(StateId s, SignalId sig, bool rise) const;
+
+  /// Total edge count (diagnostics / formula-size model).
+  std::size_t num_edges() const;
+  /// Number of (state, unordered transition pair) instances where two
+  /// different signals are enabled together — N_ct in the §2.1 size model.
+  std::size_t num_concurrent_pairs() const;
+
+  /// Reverse adjacency, built on demand (stable until states/edges change).
+  std::vector<std::vector<StateId>> predecessors() const;
+
+  /// Defensive structural check (tests): edges in range, codes consistent
+  /// with edge labels, initial in range.
+  void check_consistency() const;
+
+ private:
+  std::vector<SignalInfo> signals_;
+  std::vector<util::BitVec> codes_;       // per state; width == signals_.size()
+  std::vector<std::vector<Edge>> out_;    // per state
+  StateId initial_ = 0;
+};
+
+/// Group states by identical code.  Returns class representative list:
+/// classes[k] = state ids sharing one code (only classes of size >= 2).
+std::vector<std::vector<StateId>> code_classes(const StateGraph& g);
+
+}  // namespace mps::sg

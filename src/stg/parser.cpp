@@ -1,0 +1,256 @@
+#include "stg/parser.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/common.hpp"
+#include "util/text.hpp"
+
+namespace mps::stg {
+
+namespace {
+
+struct ParsedTransitionToken {
+  std::string signal;
+  Polarity pol;
+  int instance;
+};
+
+/// Try to interpret `tok` as a transition token ("a+", "b-/2", "c~", or a
+/// bare dummy-signal name).  `is_dummy` reports whether a name is a
+/// declared dummy signal.  Returns false if the token is not a transition.
+template <typename IsSignal, typename IsDummy>
+bool parse_transition_token(std::string_view tok, const IsSignal& is_signal,
+                            const IsDummy& is_dummy, ParsedTransitionToken* out) {
+  std::string_view body = tok;
+  int instance = 0;
+  if (const auto slash = body.rfind('/'); slash != std::string_view::npos) {
+    const std::string_view idx = body.substr(slash + 1);
+    if (idx.empty()) return false;
+    instance = 0;
+    for (char c : idx) {
+      if (c < '0' || c > '9') return false;
+      instance = instance * 10 + (c - '0');
+    }
+    body = body.substr(0, slash);
+  }
+  if (body.empty()) return false;
+  const char last = body.back();
+  if (last == '+' || last == '-' || last == '~') {
+    const std::string name(body.substr(0, body.size() - 1));
+    if (!is_signal(name)) return false;
+    out->signal = name;
+    out->pol = last == '+' ? Polarity::Rise : last == '-' ? Polarity::Fall : Polarity::Toggle;
+    out->instance = instance;
+    return true;
+  }
+  // Bare name: a transition only if it names a dummy signal.
+  const std::string name(body);
+  if (!is_dummy(name)) return false;
+  out->signal = name;
+  out->pol = Polarity::Silent;
+  out->instance = instance;
+  return true;
+}
+
+class GParser {
+ public:
+  explicit GParser(std::string_view text) : text_(text) {}
+
+  Stg run() {
+    read_header_and_graph();
+    finish_marking();
+    stg_.validate();
+    return std::move(stg_);
+  }
+
+ private:
+  // Node = transition or explicit place, as referenced in .graph lines.
+  struct Node {
+    bool is_place;
+    petri::TransId trans = petri::kNoId;
+    petri::PlaceId place = petri::kNoId;
+  };
+
+  void read_header_and_graph() {
+    std::istringstream in{std::string(text_)};
+    std::string raw;
+    bool in_graph = false;
+    while (std::getline(in, raw)) {
+      ++line_;
+      std::string line = raw;
+      if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+      const auto view = util::trim(line);
+      if (view.empty()) continue;
+      auto toks = util::split_ws(view);
+      const std::string& head = toks[0];
+      if (head == ".model" || head == ".name") {
+        if (toks.size() >= 2) stg_.set_name(toks[1]);
+      } else if (head == ".inputs" || head == ".outputs" || head == ".internal" ||
+                 head == ".dummy") {
+        const SignalKind kind = head == ".inputs"    ? SignalKind::Input
+                                : head == ".outputs" ? SignalKind::Output
+                                : head == ".internal" ? SignalKind::Internal
+                                                      : SignalKind::Dummy;
+        for (std::size_t i = 1; i < toks.size(); ++i) stg_.add_signal(toks[i], kind);
+      } else if (head == ".graph") {
+        in_graph = true;
+      } else if (head == ".marking") {
+        parse_marking(std::string(view));
+      } else if (head == ".initial") {
+        parse_initial(toks);
+      } else if (head == ".end") {
+        break;
+      } else if (head == ".capacity" || head == ".slowenv" || head == ".coords") {
+        // Accepted-and-ignored extensions emitted by other tools.
+      } else if (head[0] == '.') {
+        throw util::ParseError("unknown directive: " + head, line_);
+      } else {
+        if (!in_graph) throw util::ParseError("arc line before .graph", line_);
+        parse_arc_line(toks);
+      }
+    }
+  }
+
+  bool is_signal_name(const std::string& name) const {
+    const SignalId s = stg_.find_signal(name);
+    return s != kNoSignal && stg_.signal_kind(s) != SignalKind::Dummy;
+  }
+  bool is_dummy_name(const std::string& name) const {
+    const SignalId s = stg_.find_signal(name);
+    return s != kNoSignal && stg_.signal_kind(s) == SignalKind::Dummy;
+  }
+
+  Node resolve(const std::string& tok) {
+    ParsedTransitionToken pt;
+    const auto is_sig = [this](const std::string& n) { return is_signal_name(n); };
+    const auto is_dum = [this](const std::string& n) { return is_dummy_name(n); };
+    if (parse_transition_token(tok, is_sig, is_dum, &pt)) {
+      const std::string key = tok;
+      if (const auto it = transitions_.find(key); it != transitions_.end()) {
+        return Node{false, it->second, petri::kNoId};
+      }
+      const SignalId sig = stg_.find_signal(pt.signal);
+      const Label label = pt.pol == Polarity::Silent ? Label{sig, Polarity::Silent}
+                                                     : Label{sig, pt.pol};
+      const petri::TransId t = stg_.add_transition(label, pt.instance);
+      transitions_.emplace(key, t);
+      return Node{false, t, petri::kNoId};
+    }
+    // Explicit place.
+    if (const auto it = places_.find(tok); it != places_.end()) {
+      return Node{true, petri::kNoId, it->second};
+    }
+    const petri::PlaceId p = stg_.net().add_place(tok);
+    places_.emplace(tok, p);
+    return Node{true, petri::kNoId, p};
+  }
+
+  void parse_arc_line(const std::vector<std::string>& toks) {
+    const Node src = resolve(toks[0]);
+    for (std::size_t i = 1; i < toks.size(); ++i) {
+      const Node dst = resolve(toks[i]);
+      if (src.is_place && dst.is_place) {
+        throw util::ParseError("arc between two places: " + toks[0] + " -> " + toks[i], line_);
+      }
+      if (src.is_place) {
+        stg_.net().connect_pt(src.place, dst.trans);
+      } else if (dst.is_place) {
+        stg_.net().connect_tp(src.trans, dst.place);
+      } else {
+        // Transition -> transition: implicit place.
+        const std::string pname = "<" + toks[0] + "," + toks[i] + ">";
+        petri::PlaceId p;
+        if (const auto it = places_.find(pname); it != places_.end()) {
+          p = it->second;
+        } else {
+          p = stg_.net().add_place(pname);
+          places_.emplace(pname, p);
+        }
+        stg_.net().connect_tp(src.trans, p);
+        stg_.net().connect_pt(p, dst.trans);
+      }
+    }
+  }
+
+  void parse_marking(const std::string& line) {
+    const auto open = line.find('{');
+    const auto close = line.rfind('}');
+    if (open == std::string::npos || close == std::string::npos || close < open) {
+      throw util::ParseError(".marking must be of the form .marking { ... }", line_);
+    }
+    marking_body_ = line.substr(open + 1, close - open - 1);
+  }
+
+  void parse_initial(const std::vector<std::string>& toks) {
+    for (std::size_t i = 1; i < toks.size(); ++i) {
+      const auto parts = util::split_on(toks[i], '=');
+      if (parts.size() != 2 || (parts[1] != "0" && parts[1] != "1")) {
+        throw util::ParseError(".initial entries must be name=0 or name=1", line_);
+      }
+      const SignalId s = stg_.find_signal(parts[0]);
+      if (s == kNoSignal) throw util::ParseError("unknown signal in .initial: " + parts[0], line_);
+      stg_.set_initial_value(s, parts[1] == "1");
+    }
+  }
+
+  /// Tokenize the marking body: "<a+,b->" is one token; "p1" and "p1=2" too.
+  void finish_marking() {
+    petri::Marking m(stg_.net().num_places());
+    std::string body = marking_body_;
+    std::size_t i = 0;
+    while (i < body.size()) {
+      while (i < body.size() && std::isspace(static_cast<unsigned char>(body[i]))) ++i;
+      if (i >= body.size()) break;
+      std::size_t j = i;
+      if (body[i] == '<') {
+        j = body.find('>', i);
+        if (j == std::string::npos) throw util::ParseError("unterminated <...> in .marking", 0);
+        ++j;
+      } else {
+        while (j < body.size() && !std::isspace(static_cast<unsigned char>(body[j]))) ++j;
+      }
+      std::string tok = body.substr(i, j - i);
+      // Optional "=count" suffix (also after ">").
+      int count = 1;
+      if (const auto eq = tok.rfind('='); eq != std::string::npos && tok[0] != '<') {
+        count = std::stoi(tok.substr(eq + 1));
+        tok.resize(eq);
+      } else if (j < body.size() && body[j] == '=') {
+        std::size_t k = j + 1;
+        while (k < body.size() && std::isdigit(static_cast<unsigned char>(body[k]))) ++k;
+        count = std::stoi(body.substr(j + 1, k - j - 1));
+        j = k;
+      }
+      const auto it = places_.find(tok);
+      if (it == places_.end()) {
+        throw util::ParseError("marked place not found in graph: " + tok, 0);
+      }
+      for (int k = 0; k < count; ++k) m.add_token(it->second);
+      i = j;
+    }
+    stg_.set_initial_marking(std::move(m));
+  }
+
+  std::string_view text_;
+  int line_ = 0;
+  Stg stg_;
+  std::map<std::string, petri::TransId> transitions_;
+  std::map<std::string, petri::PlaceId> places_;
+  std::string marking_body_;
+};
+
+}  // namespace
+
+Stg parse_g(std::string_view text) { return GParser(text).run(); }
+
+Stg parse_g_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::Error("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_g(ss.str());
+}
+
+}  // namespace mps::stg

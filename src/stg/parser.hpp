@@ -1,0 +1,33 @@
+// Parser for the astg ".g" interchange format used by SIS / petrify /
+// workcraft — the format the paper's benchmark suite (HP benchmarks,
+// Chu's examples) is distributed in.
+//
+// Supported sections:
+//   .model/.name NAME
+//   .inputs/.outputs/.internal/.dummy  sig...
+//   .graph            arc lines: SRC DST [DST...]
+//   .marking { p <t,t'> p2=2 ... }
+//   .initial a=0 b=1  (extension: explicit initial signal values)
+//   .end
+//
+// Transition tokens are "a+", "a-", "a~", optionally with an instance
+// index "a+/2".  Dummy-signal tokens are bare names.  Any other
+// identifier is an explicit place.  Arcs between two transitions create
+// an implicit place, rendered "<src,dst>" in .marking.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "stg/stg.hpp"
+
+namespace mps::stg {
+
+/// Parse .g text.  Throws util::ParseError on syntax errors and
+/// util::SemanticsError on inconsistent declarations.
+Stg parse_g(std::string_view text);
+
+/// Parse a .g file from disk.
+Stg parse_g_file(const std::string& path);
+
+}  // namespace mps::stg

@@ -1,0 +1,93 @@
+#include "stg/writer.hpp"
+
+#include <sstream>
+
+namespace mps::stg {
+
+namespace {
+
+bool is_implicit(const Stg& stg, petri::PlaceId p) {
+  const auto& net = stg.net();
+  return !net.place_name(p).empty() && net.place_name(p).front() == '<' &&
+         net.place_pre(p).size() == 1 && net.place_post(p).size() == 1;
+}
+
+void write_signal_list(std::ostringstream& out, const Stg& stg, SignalKind kind,
+                       const char* directive) {
+  bool any = false;
+  for (SignalId s = 0; s < stg.num_signals(); ++s) {
+    if (stg.signal_kind(s) == kind) {
+      if (!any) out << directive;
+      out << ' ' << stg.signal_name(s);
+      any = true;
+    }
+  }
+  if (any) out << '\n';
+}
+
+}  // namespace
+
+std::string write_g(const Stg& stg) {
+  std::ostringstream out;
+  const auto& net = stg.net();
+
+  out << ".model " << stg.name() << '\n';
+  write_signal_list(out, stg, SignalKind::Input, ".inputs");
+  write_signal_list(out, stg, SignalKind::Output, ".outputs");
+  write_signal_list(out, stg, SignalKind::Internal, ".internal");
+  write_signal_list(out, stg, SignalKind::Dummy, ".dummy");
+
+  out << ".graph\n";
+  // Arcs out of transitions: either a direct arc (via an implicit place) or
+  // transition -> explicit place.
+  for (petri::TransId t = 0; t < net.num_transitions(); ++t) {
+    std::ostringstream line;
+    bool any = false;
+    for (petri::PlaceId p : net.trans_post(t)) {
+      if (is_implicit(stg, p)) {
+        line << ' ' << stg.transition_name(net.place_post(p)[0]);
+      } else {
+        line << ' ' << net.place_name(p);
+      }
+      any = true;
+    }
+    if (any) out << stg.transition_name(t) << line.str() << '\n';
+  }
+  // Arcs out of explicit places.
+  for (petri::PlaceId p = 0; p < net.num_places(); ++p) {
+    if (is_implicit(stg, p) || net.place_post(p).empty()) continue;
+    out << net.place_name(p);
+    for (petri::TransId t : net.place_post(p)) out << ' ' << stg.transition_name(t);
+    out << '\n';
+  }
+
+  out << ".marking {";
+  const auto& m = stg.initial_marking();
+  for (petri::PlaceId p = 0; p < net.num_places(); ++p) {
+    if (m.tokens(p) == 0) continue;
+    out << ' ';
+    if (is_implicit(stg, p)) {
+      out << '<' << stg.transition_name(net.place_pre(p)[0]) << ','
+          << stg.transition_name(net.place_post(p)[0]) << '>';
+    } else {
+      out << net.place_name(p);
+    }
+    if (m.tokens(p) > 1) out << '=' << int{m.tokens(p)};
+  }
+  out << " }\n";
+
+  bool any_initial = false;
+  for (SignalId s = 0; s < stg.num_signals(); ++s) {
+    if (stg.initial_value(s).has_value()) {
+      if (!any_initial) out << ".initial";
+      out << ' ' << stg.signal_name(s) << '=' << (*stg.initial_value(s) ? '1' : '0');
+      any_initial = true;
+    }
+  }
+  if (any_initial) out << '\n';
+
+  out << ".end\n";
+  return out.str();
+}
+
+}  // namespace mps::stg

@@ -1,0 +1,16 @@
+// Serializer back to the .g format; parse_g(write_g(stg)) is an identity
+// up to place naming (round-trip tested in tests/stg_test.cpp).
+#pragma once
+
+#include <string>
+
+#include "stg/stg.hpp"
+
+namespace mps::stg {
+
+/// Render `stg` in .g syntax.  Implicit places (single fan-in, single
+/// fan-out, name of the form "<src,dst>") are emitted as direct
+/// transition-to-transition arcs; all other places are explicit.
+std::string write_g(const Stg& stg);
+
+}  // namespace mps::stg

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include "logic/cover.hpp"
+#include "logic/cube.hpp"
+#include "logic/extract.hpp"
+#include "logic/minimize.hpp"
+#include "logic/pla.hpp"
+#include "sg/state_graph.hpp"
+#include "stg/builder.hpp"
+#include "util/common.hpp"
+
+namespace {
+
+using namespace mps::logic;
+using mps::util::BitVec;
+
+BitVec code(const std::string& bits) {
+  BitVec v(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) v.set(i, bits[i] == '1');
+  return v;
+}
+
+TEST(Cube, MintermAndContainment) {
+  const Cube m = Cube::minterm(code("101"));
+  EXPECT_EQ(m.literal_count(), 3u);
+  EXPECT_TRUE(m.contains_code(code("101")));
+  EXPECT_FALSE(m.contains_code(code("100")));
+  const Cube u(3);  // universal
+  EXPECT_TRUE(u.contains(m));
+  EXPECT_FALSE(m.contains(u));
+  EXPECT_TRUE(m.contains(m));
+}
+
+TEST(Cube, FromStringAndToString) {
+  const Cube c = Cube::from_string("1-0");
+  EXPECT_EQ(c.to_string(), "1-0");
+  EXPECT_EQ(c.literal_count(), 2u);
+  EXPECT_EQ(c.literal(0), std::optional<bool>(true));
+  EXPECT_EQ(c.literal(1), std::nullopt);
+  EXPECT_EQ(c.literal(2), std::optional<bool>(false));
+  EXPECT_THROW(Cube::from_string("1x0"), mps::util::ParseError);
+}
+
+TEST(Cube, SetAndFreeLiterals) {
+  Cube c(3);
+  c.set_literal(1, true);
+  EXPECT_TRUE(c.has_literal(1));
+  EXPECT_TRUE(c.contains_code(code("011")));
+  EXPECT_FALSE(c.contains_code(code("001")));
+  c.free_var(1);
+  EXPECT_FALSE(c.has_literal(1));
+  EXPECT_EQ(c.literal_count(), 0u);
+}
+
+TEST(Cube, IntersectionAndEmptiness) {
+  const Cube a = Cube::from_string("1--");
+  const Cube b = Cube::from_string("0--");
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_TRUE(a.intersect(b).is_empty());
+  const Cube c = Cube::from_string("-1-");
+  EXPECT_TRUE(a.intersects(c));
+  EXPECT_EQ(a.intersect(c).to_string(), "11-");
+}
+
+TEST(Cube, Supercube) {
+  const Cube a = Cube::from_string("110");
+  const Cube b = Cube::from_string("100");
+  EXPECT_EQ(a.supercube(b).to_string(), "1-0");
+}
+
+TEST(Cube, DistanceAndConsensus) {
+  const Cube a = Cube::from_string("10-");
+  const Cube b = Cube::from_string("11-");
+  EXPECT_EQ(a.distance(b), 1u);
+  const auto cons = a.consensus(b);
+  ASSERT_TRUE(cons.has_value());
+  EXPECT_EQ(cons->to_string(), "1--");
+  const Cube c = Cube::from_string("01-");
+  EXPECT_EQ(a.distance(c), 2u);
+  EXPECT_FALSE(a.consensus(c).has_value());
+}
+
+TEST(Cover, CoversAndLiteralCount) {
+  Cover f(3);
+  f.add(Cube::from_string("1--"));
+  f.add(Cube::from_string("-11"));
+  EXPECT_TRUE(f.covers_code(code("100")));
+  EXPECT_TRUE(f.covers_code(code("011")));
+  EXPECT_FALSE(f.covers_code(code("001")));
+  EXPECT_EQ(f.literal_count(), 3u);
+}
+
+TEST(Cover, SingleCubeContainmentRemoval) {
+  Cover f(3);
+  f.add(Cube::from_string("1--"));
+  f.add(Cube::from_string("11-"));  // contained
+  f.add(Cube::from_string("-00"));
+  f.remove_single_cube_containment();
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(Cover, Expressions) {
+  Cover f(2);
+  f.add(Cube::from_string("10"));
+  f.add(Cube::from_string("-1"));
+  EXPECT_EQ(f.to_expression({"a", "b"}), "a b' + b");
+  EXPECT_EQ(Cover(2).to_expression({"a", "b"}), "0");
+}
+
+// --- minimization -------------------------------------------------------
+
+SopSpec spec_from(std::size_t vars, const std::vector<std::string>& on,
+                  const std::vector<std::string>& off) {
+  SopSpec s;
+  s.num_vars = vars;
+  for (const auto& c : on) s.on.push_back(code(c));
+  for (const auto& c : off) s.off.push_back(code(c));
+  return s;
+}
+
+TEST(Minimize, SingleMintermStaysMinterm) {
+  const auto spec = spec_from(2, {"11"}, {"00", "01", "10"});
+  const Cover f = minimize(spec);
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.literal_count(), 2u);
+  EXPECT_TRUE(cover_is_valid(spec, f));
+}
+
+TEST(Minimize, FullOnSetBecomesTautology) {
+  const auto spec = spec_from(2, {"00", "01", "10", "11"}, {});
+  const Cover f = minimize(spec);
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.literal_count(), 0u);
+}
+
+TEST(Minimize, DontCaresAreUsed) {
+  // ON = {11}, OFF = {00}; 01 and 10 are don't cares: a single literal
+  // suffices.
+  const auto spec = spec_from(2, {"11"}, {"00"});
+  const Cover f = minimize(spec);
+  EXPECT_EQ(f.literal_count(), 1u);
+  EXPECT_TRUE(cover_is_valid(spec, f));
+}
+
+TEST(Minimize, XorNeedsTwoCubes) {
+  const auto spec = spec_from(2, {"01", "10"}, {"00", "11"});
+  const Cover f = minimize(spec);
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_EQ(f.literal_count(), 4u);
+  EXPECT_TRUE(cover_is_valid(spec, f));
+  EXPECT_TRUE(cover_is_irredundant(spec, f));
+  for (const Cube& c : f.cubes()) EXPECT_TRUE(cube_is_prime(spec, c));
+}
+
+TEST(Minimize, ClassicTextbookFunction) {
+  // f = Σm(0,1,2,5,6,7) over 3 vars: minimal SOP has 3 cubes / 6 literals
+  // (one of two symmetric solutions).
+  const auto spec =
+      spec_from(3, {"000", "100", "010", "101", "011", "111"}, {"110", "001"});
+  const Cover f = minimize(spec);
+  EXPECT_TRUE(cover_is_valid(spec, f));
+  EXPECT_LE(f.literal_count(), 6u);
+  EXPECT_GE(f.literal_count(), 6u);
+}
+
+TEST(Minimize, HeuristicMatchesExactOnSmallRandomFunctions) {
+  mps::util::Rng rng(2024);
+  for (int trial = 0; trial < 30; ++trial) {
+    SopSpec spec;
+    spec.num_vars = 4;
+    for (int x = 0; x < 16; ++x) {
+      BitVec c(4);
+      for (int v = 0; v < 4; ++v) c.set(v, (x >> v) & 1);
+      const double dice = rng.uniform();
+      if (dice < 0.4) {
+        spec.on.push_back(c);
+      } else if (dice < 0.8) {
+        spec.off.push_back(c);
+      }  // else don't care
+    }
+    if (spec.on.empty()) continue;
+    const Cover heur = heuristic_minimize(spec);
+    const auto exact = exact_minimize(spec);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_TRUE(cover_is_valid(spec, heur));
+    EXPECT_TRUE(cover_is_valid(spec, *exact));
+    // Heuristic is within 2x of exact on these tiny functions.
+    EXPECT_LE(heur.literal_count(), 2 * std::max<std::size_t>(1, exact->literal_count()));
+    EXPECT_LE(exact->literal_count(), heur.literal_count());
+  }
+}
+
+TEST(Minimize, PrimeAndIrredundantProperties) {
+  mps::util::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    SopSpec spec;
+    spec.num_vars = 5;
+    for (int x = 0; x < 32; ++x) {
+      BitVec c(5);
+      for (int v = 0; v < 5; ++v) c.set(v, (x >> v) & 1);
+      if (rng.chance(0.45)) {
+        spec.on.push_back(c);
+      } else if (rng.chance(0.8)) {
+        spec.off.push_back(c);
+      }
+    }
+    if (spec.on.empty()) continue;
+    const Cover f = heuristic_minimize(spec);
+    EXPECT_TRUE(cover_is_valid(spec, f));
+    EXPECT_TRUE(cover_is_irredundant(spec, f)) << "trial " << trial;
+    for (const Cube& c : f.cubes()) {
+      EXPECT_TRUE(cube_is_prime(spec, c)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Minimize, EmptyOnSetGivesEmptyCover) {
+  const auto spec = spec_from(2, {}, {"00"});
+  EXPECT_TRUE(minimize(spec).empty());
+}
+
+TEST(ExactMinimize, RefusesOversizedInstances) {
+  SopSpec spec;
+  spec.num_vars = 40;  // way past the DC enumeration cap
+  spec.on.push_back(BitVec(40));
+  EXPECT_FALSE(exact_minimize(spec).has_value());
+}
+
+// --- extraction ---------------------------------------------------------
+
+TEST(Extract, HandshakeNextStateFunctions) {
+  const auto stg = mps::stg::Builder("hs")
+                       .inputs({"r"})
+                       .outputs({"a"})
+                       .path("r+", "a+", "r-", "a-")
+                       .arc("a-", "r+")
+                       .token("a-", "r+")
+                       .build();
+  const auto g = mps::sg::StateGraph::from_stg(stg);
+  const auto spec = extract_next_state(g, g.find_signal("a"));
+  // a follows r: F_a = r.  States 10 and 11 are ON; 00, 01 OFF.
+  const Cover f = minimize(spec);
+  EXPECT_TRUE(cover_is_valid(spec, f));
+  EXPECT_EQ(f.literal_count(), 1u);
+  EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(Extract, ImpliedValueSemantics) {
+  const auto stg = mps::stg::Builder("hs")
+                       .inputs({"r"})
+                       .outputs({"a"})
+                       .path("r+", "a+", "r-", "a-")
+                       .arc("a-", "r+")
+                       .token("a-", "r+")
+                       .build();
+  const auto g = mps::sg::StateGraph::from_stg(stg);
+  const auto a = g.find_signal("a");
+  for (mps::sg::StateId s = 0; s < g.num_states(); ++s) {
+    const bool v = implied_value(g, s, a);
+    if (g.excited_dir(s, a, true)) EXPECT_TRUE(v);    // rising-excited -> 1
+    if (g.excited_dir(s, a, false)) EXPECT_FALSE(v);  // falling-excited -> 0
+  }
+}
+
+TEST(Extract, CscViolationDetected) {
+  const auto stg = mps::stg::Builder("toggle")
+                       .outputs({"x", "y"})
+                       .path("x+", "x-", "y+", "y-")
+                       .arc("y-", "x+")
+                       .token("y-", "x+")
+                       .build();
+  const auto g = mps::sg::StateGraph::from_stg(stg);
+  EXPECT_THROW(extract_next_state(g, g.find_signal("x")), mps::util::SemanticsError);
+}
+
+// --- PLA I/O -------------------------------------------------------------
+
+TEST(Pla, WriteCoverAndSpec) {
+  Cover f(3);
+  f.add(Cube::from_string("1-0"));
+  const std::string text = write_pla(f, {"a", "b", "c"});
+  EXPECT_NE(text.find(".i 3"), std::string::npos);
+  EXPECT_NE(text.find("1-0 1"), std::string::npos);
+  EXPECT_NE(text.find(".ilb a b c"), std::string::npos);
+}
+
+TEST(Pla, ParseRoundTrip) {
+  const auto spec = spec_from(3, {"101", "111"}, {"000"});
+  const SopSpec back = parse_pla(write_pla(spec));
+  EXPECT_EQ(back.num_vars, 3u);
+  EXPECT_EQ(back.on.size(), 2u);
+  EXPECT_EQ(back.off.size(), 1u);
+}
+
+TEST(Pla, DashExpansion) {
+  const SopSpec spec = parse_pla(".i 3\n.o 1\n1-- 1\n000 0\n.e\n");
+  EXPECT_EQ(spec.on.size(), 4u);  // 1-- expands to 4 minterms
+  EXPECT_EQ(spec.off.size(), 1u);
+}
+
+TEST(Pla, Errors) {
+  EXPECT_THROW(parse_pla(".i 2\n.o 2\n"), mps::util::ParseError);
+  EXPECT_THROW(parse_pla("11 1\n"), mps::util::ParseError);
+  EXPECT_THROW(parse_pla(".i 2\n.o 1\n111 1\n"), mps::util::ParseError);
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "petri/analysis.hpp"
+#include "petri/net.hpp"
+
+namespace {
+
+using namespace mps::petri;
+
+/// a -> p -> b -> q -> a  (two-transition ring, token on p).
+Net make_ring(Marking* m0) {
+  Net net;
+  const TransId a = net.add_transition("a");
+  const TransId b = net.add_transition("b");
+  const PlaceId p = net.add_place("p");
+  const PlaceId q = net.add_place("q");
+  net.connect_tp(a, p);
+  net.connect_pt(p, b);
+  net.connect_tp(b, q);
+  net.connect_pt(q, a);
+  *m0 = net.empty_marking();
+  m0->add_token(q);
+  return net;
+}
+
+TEST(Marking, TokenAccounting) {
+  Marking m(3);
+  EXPECT_EQ(m.tokens(0), 0);
+  m.add_token(0);
+  m.add_token(0);
+  EXPECT_EQ(m.tokens(0), 2);
+  EXPECT_FALSE(m.is_safe());
+  m.remove_token(0);
+  EXPECT_TRUE(m.is_safe());
+}
+
+TEST(Marking, EqualityAndHash) {
+  Marking a(4);
+  Marking b(4);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  a.add_token(2);
+  EXPECT_NE(a, b);
+}
+
+TEST(Marking, OverflowThrows) {
+  Marking m(1);
+  for (int i = 0; i < 255; ++i) m.add_token(0);
+  EXPECT_THROW(m.add_token(0), mps::util::SemanticsError);
+}
+
+TEST(Net, EnablednessAndFiring) {
+  Marking m0;
+  const Net net = make_ring(&m0);
+  EXPECT_TRUE(net.enabled(m0, 0));   // a has its token in q
+  EXPECT_FALSE(net.enabled(m0, 1));  // b waits on p
+  const Marking m1 = net.fire(m0, 0);
+  EXPECT_FALSE(net.enabled(m1, 0));
+  EXPECT_TRUE(net.enabled(m1, 1));
+  const Marking m2 = net.fire(m1, 1);
+  EXPECT_EQ(m2, m0);  // the ring closes
+}
+
+TEST(Net, EnabledTransitionsList) {
+  Net net;
+  const TransId t0 = net.add_transition("t0");
+  const TransId t1 = net.add_transition("t1");
+  const PlaceId p = net.add_place("p");
+  net.connect_pt(p, t0);
+  net.connect_pt(p, t1);
+  Marking m = net.empty_marking();
+  m.add_token(p);
+  const auto enabled = net.enabled_transitions(m);
+  ASSERT_EQ(enabled.size(), 2u);
+  EXPECT_EQ(enabled[0], t0);
+  EXPECT_EQ(enabled[1], t1);
+}
+
+TEST(Structure, MarkedGraphDetection) {
+  Marking m0;
+  const Net ring = make_ring(&m0);
+  EXPECT_TRUE(is_marked_graph(ring));
+  // Add a choice place feeding both transitions: no longer a marked graph.
+  Net net = ring;
+  const PlaceId c = net.add_place("c");
+  net.connect_pt(c, 0);
+  net.connect_pt(c, 1);
+  EXPECT_FALSE(is_marked_graph(net));
+}
+
+TEST(Structure, FreeChoiceDetection) {
+  // Free choice: place feeds t0 and t1, and it is the whole preset of both.
+  Net fc;
+  const TransId t0 = fc.add_transition("t0");
+  const TransId t1 = fc.add_transition("t1");
+  const PlaceId p = fc.add_place("p");
+  fc.connect_pt(p, t0);
+  fc.connect_pt(p, t1);
+  EXPECT_TRUE(is_free_choice(fc));
+  // Non-free choice: t1 gains a second fan-in place.
+  const PlaceId q = fc.add_place("q");
+  fc.connect_pt(q, t1);
+  EXPECT_FALSE(is_free_choice(fc));
+}
+
+TEST(Reachability, RingHasTwoMarkings) {
+  Marking m0;
+  const Net net = make_ring(&m0);
+  const auto r = reachability(net, m0);
+  EXPECT_EQ(r.markings.size(), 2u);
+  EXPECT_EQ(r.edges.size(), 2u);
+  EXPECT_TRUE(r.safe);
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(is_strongly_connected(r));
+  EXPECT_TRUE(is_live(net, r));
+}
+
+TEST(Reachability, ConcurrencyEnumeratesInterleavings) {
+  // fork -> (a || b) -> join
+  Net net;
+  const TransId fork = net.add_transition("fork");
+  const TransId a = net.add_transition("a");
+  const TransId b = net.add_transition("b");
+  const TransId join = net.add_transition("join");
+  const PlaceId pa = net.add_place("pa");
+  const PlaceId pb = net.add_place("pb");
+  const PlaceId qa = net.add_place("qa");
+  const PlaceId qb = net.add_place("qb");
+  const PlaceId back = net.add_place("back");
+  net.connect_tp(fork, pa);
+  net.connect_tp(fork, pb);
+  net.connect_pt(pa, a);
+  net.connect_pt(pb, b);
+  net.connect_tp(a, qa);
+  net.connect_tp(b, qb);
+  net.connect_pt(qa, join);
+  net.connect_pt(qb, join);
+  net.connect_tp(join, back);
+  net.connect_pt(back, fork);
+  Marking m0 = net.empty_marking();
+  m0.add_token(back);
+  const auto r = reachability(net, m0);
+  // back, (pa,pb), (qa,pb), (pa,qb), (qa,qb) = 5 markings.
+  EXPECT_EQ(r.markings.size(), 5u);
+  EXPECT_TRUE(is_live(net, r));
+}
+
+TEST(Reachability, MaxMarkingsCap) {
+  Marking m0;
+  const Net net = make_ring(&m0);
+  ReachabilityOptions opts;
+  opts.max_markings = 1;
+  const auto r = reachability(net, m0, opts);
+  EXPECT_FALSE(r.complete);
+}
+
+TEST(Reachability, UnsafeNetDetected) {
+  // t produces two tokens into p per firing of a one-token loop: unsafe.
+  Net net;
+  const TransId t = net.add_transition("t");
+  const TransId u = net.add_transition("u");
+  const PlaceId p = net.add_place("p");
+  const PlaceId loop = net.add_place("loop");
+  net.connect_pt(loop, t);
+  net.connect_tp(t, loop);
+  net.connect_tp(t, p);
+  net.connect_pt(p, u);  // u drains p (but slower than t fills it)
+  Marking m0 = net.empty_marking();
+  m0.add_token(loop);
+  ReachabilityOptions opts;
+  opts.max_tokens_per_place = 1;
+  opts.max_markings = 100;
+  const auto r = reachability(net, m0, opts);
+  EXPECT_FALSE(r.safe);
+}
+
+TEST(Liveness, DeadTransitionMakesNetNotLive) {
+  // Ring plus a transition guarded by a never-marked place.
+  Net net;
+  const TransId a = net.add_transition("a");
+  const TransId b = net.add_transition("b");
+  const TransId dead = net.add_transition("dead");
+  const PlaceId p = net.add_place("p");
+  const PlaceId q = net.add_place("q");
+  const PlaceId never = net.add_place("never");
+  net.connect_tp(a, p);
+  net.connect_pt(p, b);
+  net.connect_tp(b, q);
+  net.connect_pt(q, a);
+  net.connect_pt(never, dead);
+  Marking m0 = net.empty_marking();
+  m0.add_token(q);
+  const auto r = reachability(net, m0);
+  EXPECT_FALSE(is_live(net, r));
+}
+
+}  // namespace

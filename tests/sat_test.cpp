@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "sat/cnf.hpp"
+#include "sat/dimacs.hpp"
+#include "sat/local_search.hpp"
+#include "sat/solver.hpp"
+#include "util/common.hpp"
+
+namespace {
+
+using namespace mps::sat;
+
+TEST(Lit, PackingRoundTrips) {
+  const Lit a = pos(7);
+  EXPECT_EQ(a.var(), 7u);
+  EXPECT_FALSE(a.negated());
+  const Lit b = ~a;
+  EXPECT_EQ(b.var(), 7u);
+  EXPECT_TRUE(b.negated());
+  EXPECT_EQ(~b, a);
+  EXPECT_FALSE(Lit{}.valid());
+}
+
+TEST(Cnf, NormalizationDedupsAndDropsTautologies) {
+  Cnf cnf;
+  const Var x = cnf.new_var();
+  const Var y = cnf.new_var();
+  cnf.add_clause({pos(x), pos(x), neg(y)});
+  EXPECT_EQ(cnf.num_clauses(), 1u);
+  EXPECT_EQ(cnf.clause(0).size(), 2u);  // duplicate literal removed
+  cnf.add_clause({pos(x), neg(x)});     // tautology: dropped
+  EXPECT_EQ(cnf.num_clauses(), 1u);
+}
+
+TEST(Cnf, SatisfiedBy) {
+  Cnf cnf;
+  const Var x = cnf.new_var();
+  const Var y = cnf.new_var();
+  cnf.add_clause({pos(x), pos(y)});
+  cnf.add_clause({neg(x)});
+  Model m{false, true};
+  EXPECT_TRUE(cnf.satisfied_by(m));
+  m[1] = false;
+  EXPECT_FALSE(cnf.satisfied_by(m));
+}
+
+TEST(Solver, TrivialSat) {
+  Cnf cnf;
+  const Var x = cnf.new_var();
+  cnf.add_clause({pos(x)});
+  Model m;
+  EXPECT_EQ(Solver().solve(cnf, &m), Outcome::Sat);
+  EXPECT_TRUE(m[x]);
+}
+
+TEST(Solver, TrivialUnsat) {
+  Cnf cnf;
+  const Var x = cnf.new_var();
+  cnf.add_clause({pos(x)});
+  cnf.add_clause({neg(x)});
+  EXPECT_EQ(Solver().solve(cnf), Outcome::Unsat);
+}
+
+TEST(Solver, EmptyClauseIsUnsat) {
+  Cnf cnf;
+  cnf.new_var();
+  cnf.add_clause(std::vector<Lit>{});
+  EXPECT_EQ(Solver().solve(cnf), Outcome::Unsat);
+}
+
+TEST(Solver, EmptyFormulaIsSat) {
+  Cnf cnf;
+  cnf.new_vars(3);
+  Model m;
+  EXPECT_EQ(Solver().solve(cnf, &m), Outcome::Sat);
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(Solver, AllFourBinaryCombinationsUnsat) {
+  Cnf cnf;
+  const Var x = cnf.new_var();
+  const Var y = cnf.new_var();
+  cnf.add_clause({pos(x), pos(y)});
+  cnf.add_clause({pos(x), neg(y)});
+  cnf.add_clause({neg(x), pos(y)});
+  cnf.add_clause({neg(x), neg(y)});
+  EXPECT_EQ(Solver().solve(cnf), Outcome::Unsat);
+}
+
+/// Pigeonhole PHP(n+1, n): classically hard for resolution-style search;
+/// small instances prove the solver's completeness on structured UNSAT.
+Cnf pigeonhole(int pigeons, int holes) {
+  Cnf cnf;
+  std::vector<std::vector<Var>> at(pigeons, std::vector<Var>(holes));
+  for (int p = 0; p < pigeons; ++p) {
+    for (int h = 0; h < holes; ++h) at[p][h] = cnf.new_var();
+  }
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(pos(at[p][h]));
+    cnf.add_clause(clause);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        cnf.add_clause({neg(at[p1][h]), neg(at[p2][h])});
+      }
+    }
+  }
+  return cnf;
+}
+
+TEST(Solver, PigeonholeUnsat) {
+  EXPECT_EQ(Solver().solve(pigeonhole(4, 3)), Outcome::Unsat);
+  EXPECT_EQ(Solver().solve(pigeonhole(5, 4)), Outcome::Unsat);
+}
+
+TEST(Solver, PigeonholeSatWhenEnoughHoles) {
+  Model m;
+  const Cnf cnf = pigeonhole(4, 4);
+  EXPECT_EQ(Solver().solve(cnf, &m), Outcome::Sat);
+  EXPECT_TRUE(cnf.satisfied_by(m));
+}
+
+TEST(Solver, BacktrackLimitReported) {
+  SolveOptions opts;
+  opts.max_backtracks = 1;
+  const Outcome out = Solver().solve(pigeonhole(6, 5), nullptr, nullptr, opts);
+  EXPECT_EQ(out, Outcome::Limit);
+}
+
+TEST(Solver, StatsArePopulated) {
+  SolveStats stats;
+  Model m;
+  Solver().solve(pigeonhole(4, 4), &m, &stats);
+  EXPECT_GT(stats.decisions, 0);
+  EXPECT_GE(stats.propagations, 0);
+  EXPECT_GE(stats.seconds, 0.0);
+}
+
+/// Random 3-SAT at low clause density: almost surely satisfiable.
+Cnf random_3sat(mps::util::Rng& rng, int vars, int clauses) {
+  Cnf cnf;
+  cnf.new_vars(vars);
+  for (int c = 0; c < clauses; ++c) {
+    std::vector<Lit> clause;
+    for (int k = 0; k < 3; ++k) {
+      clause.push_back(Lit::make(static_cast<Var>(rng.below(vars)), rng.chance(0.5)));
+    }
+    cnf.add_clause(clause);
+  }
+  return cnf;
+}
+
+TEST(Solver, RandomEasySatInstances) {
+  mps::util::Rng rng(99);
+  for (int i = 0; i < 20; ++i) {
+    const Cnf cnf = random_3sat(rng, 30, 60);  // density 2.0: easy SAT
+    Model m;
+    ASSERT_EQ(Solver().solve(cnf, &m), Outcome::Sat);
+    EXPECT_TRUE(cnf.satisfied_by(m));
+  }
+}
+
+TEST(Solver, AgreesWithBruteForceOnSmallFormulas) {
+  mps::util::Rng rng(123);
+  for (int i = 0; i < 50; ++i) {
+    const int vars = 6;
+    const Cnf cnf = random_3sat(rng, vars, 24);  // density 4.0: mixed outcomes
+    bool brute_sat = false;
+    for (int x = 0; x < (1 << vars) && !brute_sat; ++x) {
+      Model m(vars);
+      for (int v = 0; v < vars; ++v) m[v] = (x >> v) & 1;
+      brute_sat = cnf.satisfied_by(m);
+    }
+    Model m;
+    const Outcome out = Solver().solve(cnf, &m);
+    EXPECT_EQ(out, brute_sat ? Outcome::Sat : Outcome::Unsat) << "instance " << i;
+  }
+}
+
+TEST(WalkSat, FindsEasySolutions) {
+  mps::util::Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const Cnf cnf = random_3sat(rng, 25, 50);
+    Model m;
+    if (walksat(cnf, &m)) {
+      EXPECT_TRUE(cnf.satisfied_by(m));
+    }
+  }
+}
+
+TEST(WalkSat, SolvesForcedAssignments) {
+  Cnf cnf;
+  const Var x = cnf.new_var();
+  const Var y = cnf.new_var();
+  cnf.add_clause({pos(x)});
+  cnf.add_clause({neg(x), pos(y)});
+  Model m;
+  LocalSearchStats stats;
+  ASSERT_TRUE(walksat(cnf, &m, &stats));
+  EXPECT_TRUE(m[x]);
+  EXPECT_TRUE(m[y]);
+  EXPECT_GE(stats.tries, 1);
+}
+
+TEST(WalkSat, GivesUpOnUnsat) {
+  LocalSearchOptions opts;
+  opts.max_flips = 2000;
+  opts.max_tries = 2;
+  EXPECT_FALSE(walksat(pigeonhole(4, 3), nullptr, nullptr, opts));
+}
+
+TEST(Dimacs, WriteParseRoundTrip) {
+  Cnf cnf;
+  const Var x = cnf.new_var();
+  const Var y = cnf.new_var();
+  const Var z = cnf.new_var();
+  cnf.add_clause({pos(x), neg(y)});
+  cnf.add_clause({pos(y), pos(z)});
+  cnf.add_clause({neg(z)});
+  const std::string text = write_dimacs(cnf, "round trip");
+  const Cnf back = parse_dimacs(text);
+  EXPECT_EQ(back.num_vars(), cnf.num_vars());
+  EXPECT_EQ(back.num_clauses(), cnf.num_clauses());
+  // Equisatisfiable with identical models.
+  Model m;
+  ASSERT_EQ(Solver().solve(back, &m), Outcome::Sat);
+  EXPECT_TRUE(cnf.satisfied_by(m));
+}
+
+TEST(Dimacs, ParsesCommentsAndNegatives) {
+  const Cnf cnf = parse_dimacs("c hello\np cnf 2 2\n1 -2 0\n-1 2 0\n");
+  EXPECT_EQ(cnf.num_vars(), 2u);
+  EXPECT_EQ(cnf.num_clauses(), 2u);
+}
+
+TEST(Dimacs, RejectsMalformedInput) {
+  EXPECT_THROW(parse_dimacs("p cnf x y\n"), mps::util::Error);
+  EXPECT_THROW(parse_dimacs("1 2 0\n"), mps::util::ParseError);       // clause before header
+  EXPECT_THROW(parse_dimacs("p cnf 1 1\n5 0\n"), mps::util::ParseError);  // var out of range
+}
+
+TEST(Solver, DeterministicWithFixedSeed) {
+  mps::util::Rng rng(7);
+  const Cnf cnf = random_3sat(rng, 40, 120);
+  SolveStats s1, s2;
+  Model m1, m2;
+  SolveOptions opts;
+  opts.seed = 42;
+  Solver().solve(cnf, &m1, &s1, opts);
+  Solver().solve(cnf, &m2, &s2, opts);
+  EXPECT_EQ(m1, m2);
+  EXPECT_EQ(s1.decisions, s2.decisions);
+}
+
+}  // namespace

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "stg/builder.hpp"
+#include "stg/parser.hpp"
+#include "stg/stg.hpp"
+#include "stg/writer.hpp"
+
+namespace {
+
+using namespace mps::stg;
+
+const char* kToggle = R"(
+# classic two-signal cycle with a CSC violation
+.model toggle
+.outputs x y
+.graph
+x+ x-
+x- y+
+y+ y-
+y- x+
+.marking { <y-,x+> }
+.end
+)";
+
+TEST(Parser, ParsesSignalsAndKinds) {
+  const Stg stg = parse_g(kToggle);
+  EXPECT_EQ(stg.name(), "toggle");
+  ASSERT_EQ(stg.num_signals(), 2u);
+  EXPECT_EQ(stg.signal_name(0), "x");
+  EXPECT_EQ(stg.signal_kind(0), SignalKind::Output);
+  EXPECT_TRUE(stg.is_non_input(0));
+  EXPECT_EQ(stg.find_signal("y"), 1u);
+  EXPECT_EQ(stg.find_signal("nope"), kNoSignal);
+}
+
+TEST(Parser, BuildsTransitionsAndPlaces) {
+  const Stg stg = parse_g(kToggle);
+  EXPECT_EQ(stg.net().num_transitions(), 4u);
+  EXPECT_EQ(stg.net().num_places(), 4u);  // all implicit
+  const auto xp = stg.find_transition(0, Polarity::Rise);
+  ASSERT_TRUE(xp.has_value());
+  EXPECT_EQ(stg.transition_name(*xp), "x+");
+}
+
+TEST(Parser, InitialMarkingOnImplicitPlace) {
+  const Stg stg = parse_g(kToggle);
+  int marked = 0;
+  for (mps::petri::PlaceId p = 0; p < stg.net().num_places(); ++p) {
+    marked += stg.initial_marking().tokens(p);
+  }
+  EXPECT_EQ(marked, 1);
+}
+
+TEST(Parser, ExplicitPlacesAndChoice) {
+  const char* text = R"(
+.model choice
+.inputs a b
+.outputs c
+.graph
+p0 a+ b+
+a+ c+
+b+ c+/1
+c+ p1
+c+/1 p1
+p1 c-
+c- p0
+.marking { p0 }
+.end
+)";
+  const Stg stg = parse_g(text);
+  EXPECT_EQ(stg.net().num_places(), 2u + 2u);  // p0, p1 + 2 implicit
+  const auto c1 = stg.find_transition(2, Polarity::Rise, 1);
+  ASSERT_TRUE(c1.has_value());
+  EXPECT_EQ(stg.transition_name(*c1), "c+/1");
+}
+
+TEST(Parser, DummySignalsMakeSilentTransitions) {
+  const char* text = R"(
+.model dum
+.outputs x
+.dummy eps1
+.graph
+x+ eps1
+eps1 x-
+x- x+
+.marking { <x-,x+> }
+.end
+)";
+  const Stg stg = parse_g(text);
+  const SignalId d = stg.find_signal("eps1");
+  ASSERT_NE(d, kNoSignal);
+  EXPECT_EQ(stg.signal_kind(d), SignalKind::Dummy);
+  const auto ts = stg.transitions_of(d);
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_TRUE(stg.label(ts[0]).is_silent());
+}
+
+TEST(Parser, InitialValuesExtension) {
+  const char* text = R"(
+.model iv
+.inputs a
+.outputs x
+.graph
+a+ x+
+x+ a-
+a- x-
+x- a+
+.marking { <x-,a+> }
+.initial a=0 x=1
+.end
+)";
+  const Stg stg = parse_g(text);
+  EXPECT_EQ(stg.initial_value(stg.find_signal("x")), std::optional<bool>(true));
+  EXPECT_EQ(stg.initial_value(stg.find_signal("a")), std::optional<bool>(false));
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parse_g(".model x\n.bogus\n.end\n"), mps::util::ParseError);
+  EXPECT_THROW(parse_g(".model x\n.outputs a\na+ a-\n.marking{}\n.end\n"),
+               mps::util::ParseError);  // arc before .graph
+  // Arc between two places.
+  EXPECT_THROW(parse_g(".model x\n.outputs a\n.graph\np1 p2\n.marking { p1 }\n.end\n"),
+               mps::util::ParseError);
+  // Marked place that does not exist.
+  EXPECT_THROW(parse_g(".model x\n.outputs a\n.graph\na+ a-\na- a+\n.marking { nope }\n.end\n"),
+               mps::util::ParseError);
+}
+
+TEST(Parser, ValidationRejectsUnusedSignal) {
+  EXPECT_THROW(
+      parse_g(".model x\n.outputs a b\n.graph\na+ a-\na- a+\n.marking { <a-,a+> }\n.end\n"),
+      mps::util::SemanticsError);
+}
+
+TEST(Writer, RoundTripPreservesStructure) {
+  const Stg original = parse_g(kToggle);
+  const std::string text = write_g(original);
+  const Stg reparsed = parse_g(text);
+  EXPECT_EQ(reparsed.num_signals(), original.num_signals());
+  EXPECT_EQ(reparsed.net().num_transitions(), original.net().num_transitions());
+  EXPECT_EQ(reparsed.net().num_places(), original.net().num_places());
+  // Same marked-token count.
+  int orig_tokens = 0;
+  int new_tokens = 0;
+  for (mps::petri::PlaceId p = 0; p < original.net().num_places(); ++p) {
+    orig_tokens += original.initial_marking().tokens(p);
+  }
+  for (mps::petri::PlaceId p = 0; p < reparsed.net().num_places(); ++p) {
+    new_tokens += reparsed.initial_marking().tokens(p);
+  }
+  EXPECT_EQ(orig_tokens, new_tokens);
+}
+
+TEST(Writer, RoundTripsEveryBenchmark) {
+  for (const auto& b : mps::benchmarks::table1_benchmarks()) {
+    const Stg original = b.make();
+    const Stg reparsed = parse_g(write_g(original));
+    EXPECT_EQ(reparsed.num_signals(), original.num_signals()) << b.name;
+    EXPECT_EQ(reparsed.net().num_transitions(), original.net().num_transitions()) << b.name;
+    EXPECT_NO_THROW(reparsed.validate()) << b.name;
+  }
+}
+
+TEST(Builder, BuildsSameAsParser) {
+  const Stg built = Builder("toggle")
+                        .outputs({"x", "y"})
+                        .path("x+", "x-", "y+", "y-")
+                        .arc("y-", "x+")
+                        .token("y-", "x+")
+                        .build();
+  const Stg parsed = parse_g(kToggle);
+  EXPECT_EQ(built.num_signals(), parsed.num_signals());
+  EXPECT_EQ(built.net().num_transitions(), parsed.net().num_transitions());
+}
+
+TEST(Builder, ExplicitPlacesAndCounts) {
+  const Stg stg = Builder("counts")
+                      .inputs({"a"})
+                      .outputs({"x"})
+                      .arc("a+", "x+")
+                      .arc("x+", "a-")
+                      .arc("a-", "x-")
+                      .arc("x-", "pend")
+                      .arc("pend", "a+")
+                      .token_on("pend")
+                      .build();
+  const auto pend = stg.net().num_places();
+  EXPECT_GE(pend, 1u);
+  int tokens = 0;
+  for (mps::petri::PlaceId p = 0; p < stg.net().num_places(); ++p) {
+    tokens += stg.initial_marking().tokens(p);
+  }
+  EXPECT_EQ(tokens, 1);
+}
+
+TEST(TriggerSignals, ImmediateCausality) {
+  const char* text = R"(
+.model trig
+.inputs a b
+.outputs x
+.graph
+a+ x+
+b+ x+
+x+ a- b-
+a- x-
+b- x-
+x- a+ b+
+.marking { <x-,a+> <x-,b+> }
+.end
+)";
+  const Stg stg = parse_g(text);
+  const auto trig = stg.trigger_signals(stg.find_signal("x"));
+  ASSERT_EQ(trig.size(), 2u);  // a and b both directly precede x*
+  EXPECT_EQ(stg.signal_name(trig[0]), "a");
+  EXPECT_EQ(stg.signal_name(trig[1]), "b");
+}
+
+TEST(Labels, ToString) {
+  const Stg stg = parse_g(kToggle);
+  EXPECT_EQ(label_to_string(Label{0, Polarity::Rise}, stg), "x+");
+  EXPECT_EQ(label_to_string(Label{1, Polarity::Fall}, stg), "y-");
+  EXPECT_EQ(label_to_string(Label{0, Polarity::Toggle}, stg), "x~");
+  EXPECT_EQ(label_to_string(Label{kNoSignal, Polarity::Silent}, stg), "eps");
+}
+
+}  // namespace

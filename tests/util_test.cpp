@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "util/bitvec.hpp"
+#include "util/common.hpp"
+#include "util/text.hpp"
+
+namespace {
+
+using mps::util::BitVec;
+
+TEST(BitVec, ConstructionAndBasicOps) {
+  BitVec v(10);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v.count(), 0u);
+  v.set(3);
+  v.set(9);
+  EXPECT_TRUE(v.test(3));
+  EXPECT_TRUE(v.test(9));
+  EXPECT_FALSE(v.test(4));
+  EXPECT_EQ(v.count(), 2u);
+  v.reset(3);
+  EXPECT_FALSE(v.test(3));
+  v.flip(0);
+  EXPECT_TRUE(v.test(0));
+}
+
+TEST(BitVec, AllOnesConstructionTrimsHighBits) {
+  BitVec v(70, true);
+  EXPECT_EQ(v.count(), 70u);
+  BitVec w(70);
+  w.set_all();
+  EXPECT_EQ(v, w);
+}
+
+TEST(BitVec, PushBackGrows) {
+  BitVec v;
+  for (int i = 0; i < 130; ++i) v.push_back(i % 3 == 0);
+  EXPECT_EQ(v.size(), 130u);
+  for (int i = 0; i < 130; ++i) EXPECT_EQ(v.test(i), i % 3 == 0) << i;
+}
+
+TEST(BitVec, FindFirstAndNext) {
+  BitVec v(200);
+  EXPECT_EQ(v.find_first(), BitVec::npos);
+  v.set(5);
+  v.set(64);
+  v.set(199);
+  EXPECT_EQ(v.find_first(), 5u);
+  EXPECT_EQ(v.find_next(5), 64u);
+  EXPECT_EQ(v.find_next(64), 199u);
+  EXPECT_EQ(v.find_next(199), BitVec::npos);
+}
+
+TEST(BitVec, SetOperations) {
+  BitVec a(100);
+  BitVec b(100);
+  a.set(1);
+  a.set(70);
+  b.set(70);
+  b.set(80);
+  EXPECT_TRUE((a & b).test(70));
+  EXPECT_FALSE((a & b).test(1));
+  EXPECT_TRUE((a | b).test(80));
+  EXPECT_TRUE((a ^ b).test(1));
+  EXPECT_FALSE((a ^ b).test(70));
+  EXPECT_TRUE(a.intersects(b));
+  BitVec c(100);
+  c.set(70);
+  EXPECT_TRUE(c.is_subset_of(a));
+  EXPECT_FALSE(a.is_subset_of(c));
+}
+
+TEST(BitVec, AndNot) {
+  BitVec a(10);
+  a.set(1);
+  a.set(2);
+  BitVec b(10);
+  b.set(2);
+  a.and_not(b);
+  EXPECT_TRUE(a.test(1));
+  EXPECT_FALSE(a.test(2));
+}
+
+TEST(BitVec, HashDistinguishesSizesAndContent) {
+  BitVec a(64);
+  BitVec b(64);
+  EXPECT_EQ(a.hash(), b.hash());
+  a.set(63);
+  EXPECT_NE(a.hash(), b.hash());
+  b.set(63);
+  EXPECT_EQ(a, b);
+  BitVec c(63);
+  EXPECT_NE(a.hash(), c.hash());
+}
+
+TEST(BitVec, ToString) {
+  BitVec v(4);
+  v.set(1);
+  v.set(3);
+  EXPECT_EQ(v.to_string(), "0101");
+}
+
+TEST(BitVec, ResizePreservesPrefixAndZeroesNewBits) {
+  BitVec v(4, true);
+  v.resize(8);
+  EXPECT_EQ(v.to_string(), "11110000");
+  v.resize(2);
+  EXPECT_EQ(v.count(), 2u);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  mps::util::Rng a(42);
+  mps::util::Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowIsInRange) {
+  mps::util::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  mps::util::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Text, SplitWs) {
+  const auto t = mps::util::split_ws("  a+  b-/1\tc ");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "a+");
+  EXPECT_EQ(t[1], "b-/1");
+  EXPECT_EQ(t[2], "c");
+  EXPECT_TRUE(mps::util::split_ws("   ").empty());
+}
+
+TEST(Text, SplitOnKeepsEmptyFields) {
+  const auto t = mps::util::split_on("a==b", '=');
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[1], "");
+}
+
+TEST(Text, Trim) {
+  EXPECT_EQ(mps::util::trim("  x "), "x");
+  EXPECT_EQ(mps::util::trim(""), "");
+  EXPECT_EQ(mps::util::trim(" \t\n"), "");
+}
+
+TEST(Text, Format) { EXPECT_EQ(mps::util::format("%d-%s", 7, "x"), "7-x"); }
+
+TEST(Text, Pad) {
+  EXPECT_EQ(mps::util::pad("ab", 5), "ab   ");
+  EXPECT_EQ(mps::util::pad("ab", -5), "   ab");
+  EXPECT_EQ(mps::util::pad("abcdef", 3), "abcdef");
+}
+
+TEST(Errors, HierarchyAndMessages) {
+  const mps::util::ParseError pe("bad token", 12);
+  EXPECT_NE(std::string(pe.what()).find("line 12"), std::string::npos);
+  EXPECT_EQ(pe.line(), 12);
+  EXPECT_THROW(throw mps::util::SemanticsError("x"), mps::util::Error);
+  EXPECT_THROW(throw mps::util::LimitError("y"), mps::util::Error);
+}
+
+}  // namespace
