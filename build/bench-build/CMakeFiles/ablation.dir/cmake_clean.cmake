@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation"
+  "../bench/ablation.pdb"
+  "CMakeFiles/ablation.dir/ablation.cpp.o"
+  "CMakeFiles/ablation.dir/ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

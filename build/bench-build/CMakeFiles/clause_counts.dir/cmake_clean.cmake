@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/clause_counts"
+  "../bench/clause_counts.pdb"
+  "CMakeFiles/clause_counts.dir/clause_counts.cpp.o"
+  "CMakeFiles/clause_counts.dir/clause_counts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clause_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

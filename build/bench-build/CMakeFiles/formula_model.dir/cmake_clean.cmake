@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/formula_model"
+  "../bench/formula_model.pdb"
+  "CMakeFiles/formula_model.dir/formula_model.cpp.o"
+  "CMakeFiles/formula_model.dir/formula_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formula_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

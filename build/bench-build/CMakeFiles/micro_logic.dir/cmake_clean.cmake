@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_logic"
+  "../bench/micro_logic.pdb"
+  "CMakeFiles/micro_logic.dir/micro_logic.cpp.o"
+  "CMakeFiles/micro_logic.dir/micro_logic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_sat"
+  "../bench/micro_sat.pdb"
+  "CMakeFiles/micro_sat.dir/micro_sat.cpp.o"
+  "CMakeFiles/micro_sat.dir/micro_sat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_sg"
+  "../bench/micro_sg.pdb"
+  "CMakeFiles/micro_sg.dir/micro_sg.cpp.o"
+  "CMakeFiles/micro_sg.dir/micro_sg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

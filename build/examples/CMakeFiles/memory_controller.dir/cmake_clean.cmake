@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_controller.dir/memory_controller.cpp.o"
+  "CMakeFiles/memory_controller.dir/memory_controller.cpp.o.d"
+  "memory_controller"
+  "memory_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

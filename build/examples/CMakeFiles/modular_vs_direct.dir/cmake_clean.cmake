@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modular_vs_direct.dir/modular_vs_direct.cpp.o"
+  "CMakeFiles/modular_vs_direct.dir/modular_vs_direct.cpp.o.d"
+  "modular_vs_direct"
+  "modular_vs_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modular_vs_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

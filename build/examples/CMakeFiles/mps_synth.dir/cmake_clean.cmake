@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mps_synth.dir/mps_synth.cpp.o"
+  "CMakeFiles/mps_synth.dir/mps_synth.cpp.o.d"
+  "mps_synth"
+  "mps_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mps_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbuf_interface.dir/sbuf_interface.cpp.o"
+  "CMakeFiles/sbuf_interface.dir/sbuf_interface.cpp.o.d"
+  "sbuf_interface"
+  "sbuf_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbuf_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

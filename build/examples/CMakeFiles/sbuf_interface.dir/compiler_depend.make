@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sbuf_interface.
+# This may be replaced when dependencies are built.

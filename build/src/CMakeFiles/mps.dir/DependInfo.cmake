@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/lavagno.cpp" "src/CMakeFiles/mps.dir/baseline/lavagno.cpp.o" "gcc" "src/CMakeFiles/mps.dir/baseline/lavagno.cpp.o.d"
+  "/root/repo/src/baseline/vanbekbergen.cpp" "src/CMakeFiles/mps.dir/baseline/vanbekbergen.cpp.o" "gcc" "src/CMakeFiles/mps.dir/baseline/vanbekbergen.cpp.o.d"
+  "/root/repo/src/bdd/bdd.cpp" "src/CMakeFiles/mps.dir/bdd/bdd.cpp.o" "gcc" "src/CMakeFiles/mps.dir/bdd/bdd.cpp.o.d"
+  "/root/repo/src/bdd/csc_bdd.cpp" "src/CMakeFiles/mps.dir/bdd/csc_bdd.cpp.o" "gcc" "src/CMakeFiles/mps.dir/bdd/csc_bdd.cpp.o.d"
+  "/root/repo/src/benchmarks/benchmarks.cpp" "src/CMakeFiles/mps.dir/benchmarks/benchmarks.cpp.o" "gcc" "src/CMakeFiles/mps.dir/benchmarks/benchmarks.cpp.o.d"
+  "/root/repo/src/benchmarks/generators.cpp" "src/CMakeFiles/mps.dir/benchmarks/generators.cpp.o" "gcc" "src/CMakeFiles/mps.dir/benchmarks/generators.cpp.o.d"
+  "/root/repo/src/core/input_set.cpp" "src/CMakeFiles/mps.dir/core/input_set.cpp.o" "gcc" "src/CMakeFiles/mps.dir/core/input_set.cpp.o.d"
+  "/root/repo/src/core/module_graph.cpp" "src/CMakeFiles/mps.dir/core/module_graph.cpp.o" "gcc" "src/CMakeFiles/mps.dir/core/module_graph.cpp.o.d"
+  "/root/repo/src/core/partition_sat.cpp" "src/CMakeFiles/mps.dir/core/partition_sat.cpp.o" "gcc" "src/CMakeFiles/mps.dir/core/partition_sat.cpp.o.d"
+  "/root/repo/src/core/synthesis.cpp" "src/CMakeFiles/mps.dir/core/synthesis.cpp.o" "gcc" "src/CMakeFiles/mps.dir/core/synthesis.cpp.o.d"
+  "/root/repo/src/encoding/csc_sat.cpp" "src/CMakeFiles/mps.dir/encoding/csc_sat.cpp.o" "gcc" "src/CMakeFiles/mps.dir/encoding/csc_sat.cpp.o.d"
+  "/root/repo/src/logic/cover.cpp" "src/CMakeFiles/mps.dir/logic/cover.cpp.o" "gcc" "src/CMakeFiles/mps.dir/logic/cover.cpp.o.d"
+  "/root/repo/src/logic/cube.cpp" "src/CMakeFiles/mps.dir/logic/cube.cpp.o" "gcc" "src/CMakeFiles/mps.dir/logic/cube.cpp.o.d"
+  "/root/repo/src/logic/extract.cpp" "src/CMakeFiles/mps.dir/logic/extract.cpp.o" "gcc" "src/CMakeFiles/mps.dir/logic/extract.cpp.o.d"
+  "/root/repo/src/logic/minimize.cpp" "src/CMakeFiles/mps.dir/logic/minimize.cpp.o" "gcc" "src/CMakeFiles/mps.dir/logic/minimize.cpp.o.d"
+  "/root/repo/src/logic/pla.cpp" "src/CMakeFiles/mps.dir/logic/pla.cpp.o" "gcc" "src/CMakeFiles/mps.dir/logic/pla.cpp.o.d"
+  "/root/repo/src/petri/analysis.cpp" "src/CMakeFiles/mps.dir/petri/analysis.cpp.o" "gcc" "src/CMakeFiles/mps.dir/petri/analysis.cpp.o.d"
+  "/root/repo/src/petri/net.cpp" "src/CMakeFiles/mps.dir/petri/net.cpp.o" "gcc" "src/CMakeFiles/mps.dir/petri/net.cpp.o.d"
+  "/root/repo/src/sat/cnf.cpp" "src/CMakeFiles/mps.dir/sat/cnf.cpp.o" "gcc" "src/CMakeFiles/mps.dir/sat/cnf.cpp.o.d"
+  "/root/repo/src/sat/dimacs.cpp" "src/CMakeFiles/mps.dir/sat/dimacs.cpp.o" "gcc" "src/CMakeFiles/mps.dir/sat/dimacs.cpp.o.d"
+  "/root/repo/src/sat/local_search.cpp" "src/CMakeFiles/mps.dir/sat/local_search.cpp.o" "gcc" "src/CMakeFiles/mps.dir/sat/local_search.cpp.o.d"
+  "/root/repo/src/sat/solver.cpp" "src/CMakeFiles/mps.dir/sat/solver.cpp.o" "gcc" "src/CMakeFiles/mps.dir/sat/solver.cpp.o.d"
+  "/root/repo/src/sg/assignments.cpp" "src/CMakeFiles/mps.dir/sg/assignments.cpp.o" "gcc" "src/CMakeFiles/mps.dir/sg/assignments.cpp.o.d"
+  "/root/repo/src/sg/csc.cpp" "src/CMakeFiles/mps.dir/sg/csc.cpp.o" "gcc" "src/CMakeFiles/mps.dir/sg/csc.cpp.o.d"
+  "/root/repo/src/sg/expand.cpp" "src/CMakeFiles/mps.dir/sg/expand.cpp.o" "gcc" "src/CMakeFiles/mps.dir/sg/expand.cpp.o.d"
+  "/root/repo/src/sg/projection.cpp" "src/CMakeFiles/mps.dir/sg/projection.cpp.o" "gcc" "src/CMakeFiles/mps.dir/sg/projection.cpp.o.d"
+  "/root/repo/src/sg/state_graph.cpp" "src/CMakeFiles/mps.dir/sg/state_graph.cpp.o" "gcc" "src/CMakeFiles/mps.dir/sg/state_graph.cpp.o.d"
+  "/root/repo/src/stg/builder.cpp" "src/CMakeFiles/mps.dir/stg/builder.cpp.o" "gcc" "src/CMakeFiles/mps.dir/stg/builder.cpp.o.d"
+  "/root/repo/src/stg/parser.cpp" "src/CMakeFiles/mps.dir/stg/parser.cpp.o" "gcc" "src/CMakeFiles/mps.dir/stg/parser.cpp.o.d"
+  "/root/repo/src/stg/stg.cpp" "src/CMakeFiles/mps.dir/stg/stg.cpp.o" "gcc" "src/CMakeFiles/mps.dir/stg/stg.cpp.o.d"
+  "/root/repo/src/stg/writer.cpp" "src/CMakeFiles/mps.dir/stg/writer.cpp.o" "gcc" "src/CMakeFiles/mps.dir/stg/writer.cpp.o.d"
+  "/root/repo/src/util/bitvec.cpp" "src/CMakeFiles/mps.dir/util/bitvec.cpp.o" "gcc" "src/CMakeFiles/mps.dir/util/bitvec.cpp.o.d"
+  "/root/repo/src/util/text.cpp" "src/CMakeFiles/mps.dir/util/text.cpp.o" "gcc" "src/CMakeFiles/mps.dir/util/text.cpp.o.d"
+  "/root/repo/src/verify/verify.cpp" "src/CMakeFiles/mps.dir/verify/verify.cpp.o" "gcc" "src/CMakeFiles/mps.dir/verify/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/mps_tests.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/mps_tests.dir/baseline_test.cpp.o.d"
+  "/root/repo/tests/bdd_test.cpp" "tests/CMakeFiles/mps_tests.dir/bdd_test.cpp.o" "gcc" "tests/CMakeFiles/mps_tests.dir/bdd_test.cpp.o.d"
+  "/root/repo/tests/benchmarks_test.cpp" "tests/CMakeFiles/mps_tests.dir/benchmarks_test.cpp.o" "gcc" "tests/CMakeFiles/mps_tests.dir/benchmarks_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/mps_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/mps_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/crosscheck_test.cpp" "tests/CMakeFiles/mps_tests.dir/crosscheck_test.cpp.o" "gcc" "tests/CMakeFiles/mps_tests.dir/crosscheck_test.cpp.o.d"
+  "/root/repo/tests/csc_test.cpp" "tests/CMakeFiles/mps_tests.dir/csc_test.cpp.o" "gcc" "tests/CMakeFiles/mps_tests.dir/csc_test.cpp.o.d"
+  "/root/repo/tests/encoding_test.cpp" "tests/CMakeFiles/mps_tests.dir/encoding_test.cpp.o" "gcc" "tests/CMakeFiles/mps_tests.dir/encoding_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/mps_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/mps_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/logic_test.cpp" "tests/CMakeFiles/mps_tests.dir/logic_test.cpp.o" "gcc" "tests/CMakeFiles/mps_tests.dir/logic_test.cpp.o.d"
+  "/root/repo/tests/petri_test.cpp" "tests/CMakeFiles/mps_tests.dir/petri_test.cpp.o" "gcc" "tests/CMakeFiles/mps_tests.dir/petri_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/mps_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/mps_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/sat_test.cpp" "tests/CMakeFiles/mps_tests.dir/sat_test.cpp.o" "gcc" "tests/CMakeFiles/mps_tests.dir/sat_test.cpp.o.d"
+  "/root/repo/tests/sg_test.cpp" "tests/CMakeFiles/mps_tests.dir/sg_test.cpp.o" "gcc" "tests/CMakeFiles/mps_tests.dir/sg_test.cpp.o.d"
+  "/root/repo/tests/stg_test.cpp" "tests/CMakeFiles/mps_tests.dir/stg_test.cpp.o" "gcc" "tests/CMakeFiles/mps_tests.dir/stg_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/mps_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/mps_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/verify_test.cpp" "tests/CMakeFiles/mps_tests.dir/verify_test.cpp.o" "gcc" "tests/CMakeFiles/mps_tests.dir/verify_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
