@@ -9,10 +9,20 @@
 // branch-and-bound search on the large entries ("SAT Backtrack Limit"),
 // and the monolithic method costs one to three orders of magnitude more
 // time than the modular one on large graphs.
+//
+// The per-benchmark rows are independent, so they are computed on a
+// util::ThreadPool (`--threads N`; `--threads 1` reproduces the serial
+// run) and printed in table order afterwards.  Each row's synthesis runs
+// with num_threads = 1 so the printed per-row cpu columns stay comparable
+// with the paper's single-core measurements.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "mps.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -37,9 +47,128 @@ void print_row(const Row& r) {
               r.l_sigs.c_str(), r.l_area.c_str(), r.l_cpu.c_str());
 }
 
+/// Everything one benchmark contributes: its two printed rows plus the raw
+/// numbers the summary needs.  Filled concurrently, consumed in order.
+struct BenchResult {
+  Row ours;
+  Row paper;
+  bool m_ok = false, v_ok = false, l_ok = false;
+  std::size_t m_area = 0, v_area = 0, l_area = 0;
+  double m_secs = 0.0, v_secs = 0.0, l_secs = 0.0;
+};
+
+BenchResult run_benchmark(const benchmarks::Benchmark& b) {
+  BenchResult out;
+  const auto g = sg::StateGraph::from_stg(b.make());
+
+  core::SynthesisOptions mopts;
+  mopts.num_threads = 1;  // row-level parallelism only; keeps cpu columns comparable
+  const auto m = core::modular_synthesis(g, mopts);
+
+  baseline::DirectOptions vopts;
+  vopts.solve.max_backtracks = 5000000;
+  vopts.solve.time_limit_s = 60.0;
+  const auto v = baseline::direct_synthesis(g, vopts);
+
+  baseline::LavagnoOptions lopts;
+  lopts.solve.max_backtracks = 2000000;
+  lopts.solve.time_limit_s = 20.0;
+  lopts.time_limit_s = 300.0;
+  const auto l = baseline::lavagno_synthesis(g, lopts);
+
+  Row& ours = out.ours;
+  ours.name = b.name;
+  ours.init_states = num(g.num_states());
+  ours.init_sigs = num(g.num_signals());
+  if (m.success) {
+    ours.m_states = num(m.final_states);
+    ours.m_sigs = num(m.final_signals);
+    ours.m_area = num(m.total_literals);
+    ours.m_cpu = secs(m.seconds);
+  } else {
+    ours.m_states = ours.m_sigs = ours.m_area = "-";
+    ours.m_cpu = "FAIL";
+  }
+  if (v.success) {
+    ours.v_states = num(v.final_states);
+    ours.v_sigs = num(v.final_signals);
+    ours.v_area = num(v.total_literals);
+    ours.v_cpu = secs(v.seconds);
+  } else {
+    ours.v_states = ours.v_sigs = ours.v_area = "-";
+    ours.v_cpu = v.hit_limit ? "LIMIT" : "FAIL";
+  }
+  if (l.success) {
+    ours.l_sigs = num(l.final_signals);
+    ours.l_area = num(l.total_literals);
+    ours.l_cpu = secs(l.seconds);
+  } else {
+    ours.l_sigs = ours.l_area = "-";
+    ours.l_cpu = l.hit_limit ? "LIMIT" : "FAIL";
+  }
+
+  Row& paper = out.paper;
+  paper.name = "  (paper)";
+  paper.init_states = num(b.paper.initial_states);
+  paper.init_sigs = num(b.paper.initial_signals);
+  paper.m_states = num(b.paper.m_final_states);
+  paper.m_sigs = num(b.paper.m_final_signals);
+  paper.m_area = num(b.paper.m_area);
+  paper.m_cpu = secs(b.paper.m_cpu_s);
+  if (b.paper.v_limit) {
+    paper.v_states = paper.v_sigs = paper.v_area = "-";
+    paper.v_cpu = "LIMIT";
+  } else {
+    paper.v_states = num(b.paper.v_final_states);
+    paper.v_sigs = num(b.paper.v_final_signals);
+    paper.v_area = num(b.paper.v_area);
+    paper.v_cpu = secs(b.paper.v_cpu_s);
+  }
+  if (b.paper.l_note != nullptr) {
+    paper.l_sigs = paper.l_area = "-";
+    paper.l_cpu = "ERROR";
+  } else {
+    paper.l_sigs = num(b.paper.l_final_signals);
+    paper.l_area = num(b.paper.l_area);
+    paper.l_cpu = secs(b.paper.l_cpu_s);
+  }
+
+  out.m_ok = m.success;
+  out.v_ok = v.success;
+  out.l_ok = l.success;
+  out.m_area = m.total_literals;
+  out.v_area = v.total_literals;
+  out.l_area = l.total_literals;
+  out.m_secs = m.seconds;
+  out.v_secs = v.seconds;
+  out.l_secs = l.seconds;
+  return out;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  unsigned threads = util::ThreadPool::hardware_threads();
+  for (int i = 1; i < argc; ++i) {
+    if ((std::strcmp(argv[i], "--threads") == 0 || std::strcmp(argv[i], "-j") == 0) &&
+        i + 1 < argc) {
+      threads = static_cast<unsigned>(std::atoi(argv[++i]));
+      if (threads == 0) threads = 1;
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const auto& benches = benchmarks::table1_benchmarks();
+  std::vector<BenchResult> results(benches.size());
+
+  util::Timer total;
+  util::ThreadPool pool(threads);
+  pool.parallel_for(benches.size(),
+                    [&](std::size_t i) { results[i] = run_benchmark(benches[i]); });
+  const double wall = total.seconds();
+
   std::printf("Table 1 — modular partitioning vs direct SAT vs monolithic insertion\n");
   std::printf("(measured on this machine; 'paper' rows show the published SPARC-2 values)\n\n");
   std::printf("%-15s|%6s %5s |%7s %5s %5s %8s |%7s %5s %5s %8s |%5s %5s %8s\n", "STG",
@@ -58,95 +187,25 @@ int main() {
   int speedup_v_n = 0;
   double speedup_l = 0.0;
   int speedup_l_n = 0;
+  double cpu_total = 0.0;
 
-  for (const auto& b : benchmarks::table1_benchmarks()) {
-    const auto g = sg::StateGraph::from_stg(b.make());
-
-    const auto m = core::modular_synthesis(g);
-
-    baseline::DirectOptions vopts;
-    vopts.solve.max_backtracks = 5000000;
-    vopts.solve.time_limit_s = 60.0;
-    const auto v = baseline::direct_synthesis(g, vopts);
-
-    baseline::LavagnoOptions lopts;
-    lopts.solve.max_backtracks = 2000000;
-    lopts.solve.time_limit_s = 20.0;
-    lopts.time_limit_s = 300.0;
-    const auto l = baseline::lavagno_synthesis(g, lopts);
-
-    Row ours;
-    ours.name = b.name;
-    ours.init_states = num(g.num_states());
-    ours.init_sigs = num(g.num_signals());
-    if (m.success) {
-      ours.m_states = num(m.final_states);
-      ours.m_sigs = num(m.final_signals);
-      ours.m_area = num(m.total_literals);
-      ours.m_cpu = secs(m.seconds);
-    } else {
-      ours.m_states = ours.m_sigs = ours.m_area = "-";
-      ours.m_cpu = "FAIL";
-    }
-    if (v.success) {
-      ours.v_states = num(v.final_states);
-      ours.v_sigs = num(v.final_signals);
-      ours.v_area = num(v.total_literals);
-      ours.v_cpu = secs(v.seconds);
-    } else {
-      ours.v_states = ours.v_sigs = ours.v_area = "-";
-      ours.v_cpu = v.hit_limit ? "LIMIT" : "FAIL";
-    }
-    if (l.success) {
-      ours.l_sigs = num(l.final_signals);
-      ours.l_area = num(l.total_literals);
-      ours.l_cpu = secs(l.seconds);
-    } else {
-      ours.l_sigs = ours.l_area = "-";
-      ours.l_cpu = l.hit_limit ? "LIMIT" : "FAIL";
-    }
-    print_row(ours);
-
-    Row paper;
-    paper.name = "  (paper)";
-    paper.init_states = num(b.paper.initial_states);
-    paper.init_sigs = num(b.paper.initial_signals);
-    paper.m_states = num(b.paper.m_final_states);
-    paper.m_sigs = num(b.paper.m_final_signals);
-    paper.m_area = num(b.paper.m_area);
-    paper.m_cpu = secs(b.paper.m_cpu_s);
-    if (b.paper.v_limit) {
-      paper.v_states = paper.v_sigs = paper.v_area = "-";
-      paper.v_cpu = "LIMIT";
-    } else {
-      paper.v_states = num(b.paper.v_final_states);
-      paper.v_sigs = num(b.paper.v_final_signals);
-      paper.v_area = num(b.paper.v_area);
-      paper.v_cpu = secs(b.paper.v_cpu_s);
-    }
-    if (b.paper.l_note != nullptr) {
-      paper.l_sigs = paper.l_area = "-";
-      paper.l_cpu = "ERROR";
-    } else {
-      paper.l_sigs = num(b.paper.l_final_signals);
-      paper.l_area = num(b.paper.l_area);
-      paper.l_cpu = secs(b.paper.l_cpu_s);
-    }
-    print_row(paper);
-
-    if (m.success && v.success && v.total_literals > 0) {
-      sum_ratio_v += static_cast<double>(m.total_literals) / v.total_literals;
+  for (const BenchResult& r : results) {
+    print_row(r.ours);
+    print_row(r.paper);
+    cpu_total += r.m_secs + r.v_secs + r.l_secs;
+    if (r.m_ok && r.v_ok && r.v_area > 0) {
+      sum_ratio_v += static_cast<double>(r.m_area) / r.v_area;
       ++count_v;
-      if (m.seconds > 0) {
-        speedup_v += v.seconds / m.seconds;
+      if (r.m_secs > 0) {
+        speedup_v += r.v_secs / r.m_secs;
         ++speedup_v_n;
       }
     }
-    if (m.success && l.success && l.total_literals > 0) {
-      sum_ratio_l += static_cast<double>(m.total_literals) / l.total_literals;
+    if (r.m_ok && r.l_ok && r.l_area > 0) {
+      sum_ratio_l += static_cast<double>(r.m_area) / r.l_area;
       ++count_l;
-      if (m.seconds > 0) {
-        speedup_l += l.seconds / m.seconds;
+      if (r.m_secs > 0) {
+        speedup_l += r.l_secs / r.m_secs;
         ++speedup_l_n;
       }
     }
@@ -172,6 +231,8 @@ int main() {
     std::printf("  time, monolithic / modular : %.1fx on average over %d instances\n",
                 speedup_l / speedup_l_n, speedup_l_n);
   }
+  std::printf("\nTotal: %.2fs wall on %u thread(s) (%.2fs of per-method cpu time)\n", wall,
+              pool.num_threads(), cpu_total);
   std::printf("\nSee EXPERIMENTS.md for the row-by-row discussion.\n");
   return 0;
 }

@@ -1,11 +1,14 @@
 #include "core/synthesis.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 
 #include "logic/extract.hpp"
 #include "sg/csc.hpp"
 #include "sg/projection.hpp"
 #include "util/common.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mps::core {
 
@@ -59,6 +62,43 @@ bool rescue_direct(const sg::StateGraph& g, const PartitionSatOptions& opts,
   return false;
 }
 
+/// One per-output unit of a synthesis round: everything up to — but not
+/// including — the sequential merge/propagate step.
+struct ModuleWork {
+  ModuleGraph module;
+  ModuleReport report;
+  PartitionSatResult psr;
+  bool inserts = false;  ///< solved its conflicts and produced new signals
+};
+
+/// Compute the module of output `o` against a fixed snapshot of the
+/// accumulated state-signal assignments.  Pure w.r.t. shared state, so any
+/// number of these can run concurrently; `cancel` lets the merge logic stop
+/// a solve whose result is already known to be stale.
+void compute_module(const sg::StateGraph& g, sg::SignalId o, const sg::Assignments& snapshot,
+                    const SynthesisOptions& opts, int round,
+                    std::chrono::steady_clock::time_point deadline,
+                    const std::atomic<bool>* cancel, ModuleWork* w) {
+  util::Timer timer;
+  const InputSetResult isr = determine_input_set(g, o, snapshot, opts.input_set);
+  w->module = build_module(g, o, isr, snapshot);
+
+  w->report.output = g.signal(o).name;
+  w->report.round = round;
+  w->report.input_set_size = isr.kept.count() - 1;  // excluding o itself
+  w->report.module_states = w->module.proj.graph.num_states();
+  w->report.module_conflicts = w->module.conflicts.size();
+
+  if (!w->module.conflicts.empty()) {
+    PartitionSatOptions sat_opts = opts.sat;
+    sat_opts.solve.interrupt = cancel;
+    sat_opts.solve.deadline = deadline;
+    w->psr = partition_sat(w->module, "m", sat_opts);
+    w->inserts = w->psr.success && w->psr.module_assignments.num_signals() > 0;
+  }
+  w->report.seconds = timer.seconds();
+}
+
 }  // namespace
 
 std::size_t derive_all_logic(const sg::StateGraph& g, const logic::MinimizeOptions& opts,
@@ -82,40 +122,79 @@ SynthesisResult modular_synthesis(const sg::StateGraph& input, const SynthesisOp
   result.initial_states = g.num_states();
   result.initial_signals = g.num_signals();
 
+  util::ThreadPool pool(opts.num_threads == 0 ? util::ThreadPool::hardware_threads()
+                                              : opts.num_threads);
+
   bool failed = false;
   for (int round = 1; round <= opts.max_rounds; ++round) {
     if (sg::analyze_csc(g).satisfied()) break;
     result.rounds = round;
 
+    std::chrono::steady_clock::time_point deadline{};
+    if (opts.round_time_limit_s > 0) {
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(opts.round_time_limit_s));
+    }
+
     sg::Assignments assigns(g.num_states());
 
-    // Figure 6 main loop: one module per output signal.
+    std::vector<sg::SignalId> outputs;
     for (sg::SignalId o = 0; o < g.num_signals(); ++o) {
-      if (g.is_input(o)) continue;
+      if (!g.is_input(o)) outputs.push_back(o);
+    }
 
-      const InputSetResult isr = determine_input_set(g, o, assigns, opts.input_set);
-      const ModuleGraph module = build_module(g, o, isr, assigns);
+    // Figure 6 main loop: one module per output signal.  Modules are
+    // independent given a fixed set of already-inserted signals, so each
+    // *wave* solves all still-pending outputs concurrently against a
+    // snapshot of `assigns`.  The serial flow lets output k see the signals
+    // outputs < k inserted this round; to stay bit-identical the wave only
+    // adopts results up to and including the first output that inserts
+    // signals — later speculations were computed against a stale snapshot,
+    // so they are cancelled and recomputed in the next wave.  Outputs that
+    // insert nothing are unaffected by the snapshot, hence most rounds
+    // finish in (#inserting outputs + 1) waves.
+    std::size_t done = 0;
+    while (done < outputs.size()) {
+      const std::size_t wave = outputs.size() - done;
+      const sg::Assignments snapshot = assigns;
+      std::vector<ModuleWork> work(wave);
+      std::vector<std::atomic<bool>> cancel(wave);
+      std::atomic<std::size_t> first_insert{wave};
 
-      ModuleReport report;
-      report.output = g.signal(o).name;
-      report.round = round;
-      report.input_set_size = isr.kept.count() - 1;  // excluding o itself
-      report.module_states = module.proj.graph.num_states();
-      report.module_conflicts = module.conflicts.size();
-
-      if (!module.conflicts.empty()) {
-        const PartitionSatResult psr = partition_sat(module, "m", opts.sat);
-        report.formulas = psr.formulas;
-        if (psr.success) {
-          report.new_signals = psr.module_assignments.num_signals();
-          propagate(module, psr.module_assignments, &assigns,
-                    /*name_offset=*/g.num_signals());
-        } else {
-          result.failure_reason =
-              "partition SAT hit its limit for output " + report.output;
+      pool.parallel_for(wave, [&](std::size_t i) {
+        if (cancel[i].load(std::memory_order_relaxed)) return;  // stale speculation
+        compute_module(g, outputs[done + i], snapshot, opts, round, deadline, &cancel[i],
+                       &work[i]);
+        if (!work[i].inserts) return;
+        std::size_t cur = first_insert.load(std::memory_order_relaxed);
+        while (i < cur && !first_insert.compare_exchange_weak(cur, i)) {
         }
+        // Every module past the earliest inserter is stale; stop its solve.
+        for (std::size_t j = first_insert.load(std::memory_order_relaxed) + 1; j < wave;
+             ++j) {
+          cancel[j].store(true, std::memory_order_relaxed);
+        }
+      });
+
+      // Sequential merge in output order (identical to the serial flow).
+      const std::size_t adopt = std::min(first_insert.load() + 1, wave);
+      for (std::size_t i = 0; i < adopt; ++i) {
+        ModuleWork& w = work[i];
+        if (!w.module.conflicts.empty()) {
+          w.report.formulas = w.psr.formulas;
+          if (w.psr.success) {
+            w.report.new_signals = w.psr.module_assignments.num_signals();
+            propagate(w.module, w.psr.module_assignments, &assigns,
+                      /*name_offset=*/g.num_signals());
+          } else {
+            result.failure_reason =
+                "partition SAT hit its limit for output " + w.report.output;
+          }
+        }
+        result.modules.push_back(std::move(w.report));
       }
-      result.modules.push_back(std::move(report));
+      done += adopt;
     }
 
     if (assigns.empty()) {

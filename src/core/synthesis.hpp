@@ -28,6 +28,16 @@ struct SynthesisOptions {
   int max_rounds = 6;
   /// Derive + minimize logic (disable for timing-only experiments).
   bool derive_logic = true;
+  /// Worker threads for the per-output module loop.  0 = one per hardware
+  /// thread; 1 = fully serial (today's single-threaded flow).  Any value
+  /// produces bit-identical results — see DESIGN.md "Parallel synthesis".
+  unsigned num_threads = 0;
+  /// Wall-clock budget per synthesis round, shared by all module solves of
+  /// the round as a common deadline; <=0 = unlimited.  A module whose solve
+  /// is cut off by the deadline behaves exactly like one that hit its
+  /// backtrack cap (the rescue path / next round picks up the slack), but
+  /// note that a deadline that fires makes results timing-dependent.
+  double round_time_limit_s = 0.0;
 };
 
 /// Per-output record of what the partitioning did (module sizes and the
@@ -40,6 +50,9 @@ struct ModuleReport {
   std::size_t module_conflicts = 0;
   std::size_t new_signals = 0;
   std::vector<FormulaStat> formulas;
+  /// Wall time of this module's input-set + projection + SAT work (the
+  /// module was possibly computed concurrently with others).
+  double seconds = 0.0;
 };
 
 struct SynthesisResult {

@@ -41,4 +41,5 @@
 #include "util/bitvec.hpp"
 #include "util/common.hpp"
 #include "util/text.hpp"
+#include "util/thread_pool.hpp"
 #include "verify/verify.hpp"

@@ -20,7 +20,6 @@ class Dpll {
     assign_.assign(n, kUnassigned);
     watches_.assign(2 * n, {});
     score_.assign(n, 0.0);
-    polarity_.assign(n, 0);
     activity_.assign(n, 0.0);
     rng_ = util::Rng(opts.seed);
 
@@ -43,10 +42,7 @@ class Dpll {
       watches_[clause[1].x].push_back(ci);
       // Static branching score: short clauses weigh more (Jeroslow-Wang).
       const double w = std::pow(2.0, -static_cast<double>(clause.size()));
-      for (const Lit l : clause) {
-        score_[l.var()] += w;
-        polarity_[l.var()] += l.negated() ? -1 : 1;
-      }
+      for (const Lit l : clause) score_[l.var()] += w;
     }
   }
 
@@ -138,6 +134,12 @@ class Dpll {
     qhead_ = trail_.size();
   }
 
+  /// Branch phase for `v`: always FALSE first.  CSC-encoding variables at
+  /// 0 mean state-signal value Zero, so solutions keep minimal excitation
+  /// regions (fewest state splits on expansion); a Jeroslow-Wang polarity
+  /// hint was tried here and made downstream synthesis results worse.
+  Lit phased(Var v) const { return Lit::make(v, true); }
+
   Lit pick_branch() {
     // Occasional random decisions diversify the search across restarts.
     if (rng_.chance(0.02)) {
@@ -146,7 +148,7 @@ class Dpll {
       if (unassigned > 0) {
         std::uint64_t pick = rng_.below(unassigned);
         for (Var v = 0; v < cnf_.num_vars(); ++v) {
-          if (assign_[v] == kUnassigned && pick-- == 0) return Lit::make(v, true);
+          if (assign_[v] == kUnassigned && pick-- == 0) return phased(v);
         }
       }
     }
@@ -159,10 +161,7 @@ class Dpll {
       }
     }
     if (best == kNoVar) return Lit{};
-    // Prefer FALSE first: CSC-encoding variables at 0 mean state-signal
-    // value Zero, so solutions keep minimal excitation regions (fewest
-    // state splits on expansion).
-    return Lit::make(best, true);
+    return phased(best);
   }
 
   /// Conflict-driven activity (VSIDS-style bump/decay) — adaptive
@@ -178,6 +177,20 @@ class Dpll {
       for (auto& a : activity_) a *= 1e-100;
       activity_inc_ *= 1e-100;
     }
+  }
+
+  /// External stop conditions (interrupt token, relative time limit, shared
+  /// deadline).  Cheap enough for periodic checks; not for every decision.
+  bool should_stop(const util::Timer& timer) const {
+    if (opts_.interrupt != nullptr && opts_.interrupt->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    if (opts_.time_limit_s > 0 && timer.seconds() > opts_.time_limit_s) return true;
+    if (opts_.deadline != std::chrono::steady_clock::time_point{} &&
+        std::chrono::steady_clock::now() > opts_.deadline) {
+      return true;
+    }
+    return false;
   }
 
   Outcome search(const util::Timer& timer) {
@@ -199,10 +212,7 @@ class Dpll {
         if (opts_.max_backtracks >= 0 && backtracks_ > opts_.max_backtracks) {
           return Outcome::Limit;
         }
-        if ((backtracks_ & 255) == 0 && opts_.time_limit_s > 0 &&
-            timer.seconds() > opts_.time_limit_s) {
-          return Outcome::Limit;
-        }
+        if ((backtracks_ & 255) == 0 && should_stop(timer)) return Outcome::Limit;
         if (opts_.restart_interval > 0 && backtracks_since_restart >= restart_budget) {
           // Geometric restart: forget decisions, keep activities.
           decisions.clear();
@@ -227,6 +237,10 @@ class Dpll {
         }
         continue;
       }
+      // Conflicts are not the only progress marker: a propagation-heavy
+      // instance can run for a long time with almost no backtracks, so the
+      // stop conditions are also polled on a decision counter.
+      if ((decisions_ & 127) == 0 && should_stop(timer)) return Outcome::Limit;
       const Lit branch = pick_branch();
       if (!branch.valid()) return Outcome::Sat;  // total assignment, all clauses satisfied
       ++decisions_;
@@ -246,7 +260,6 @@ class Dpll {
   std::vector<Lit> trail_;
   std::size_t qhead_ = 0;
   std::vector<double> score_;
-  std::vector<int> polarity_;
   std::vector<double> activity_;
   double activity_inc_ = 1.0;
   static constexpr std::uint32_t kNoClause = 0xFFFFFFFFu;

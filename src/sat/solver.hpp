@@ -9,6 +9,8 @@
 // mechanism (the backtrack limit below).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 
 #include "sat/cnf.hpp"
@@ -21,8 +23,19 @@ struct SolveOptions {
   /// Abort with Outcome::Limit beyond this many backtracks (flips of a
   /// decision); <0 = unlimited.
   std::int64_t max_backtracks = -1;
-  /// Wall-clock limit in seconds; <=0 = unlimited.
+  /// Wall-clock limit in seconds; <=0 = unlimited.  Checked periodically on
+  /// both decisions and conflicts, so propagation-heavy runs with few
+  /// backtracks still honor it.
   double time_limit_s = 0.0;
+  /// Cooperative cancellation: when non-null and set (by another thread),
+  /// the search returns Outcome::Limit at its next periodic check.  Used by
+  /// the parallel synthesis flow to stop solving modules whose results are
+  /// already known to be discarded.
+  const std::atomic<bool>* interrupt = nullptr;
+  /// Absolute wall-clock cutoff shared by a group of solves (e.g. all
+  /// modules of one synthesis round); default-constructed = none.  Combines
+  /// with time_limit_s: whichever fires first wins.
+  std::chrono::steady_clock::time_point deadline{};
   /// Restart the search (keeping variable activities) after this many
   /// backtracks, doubling each time; 0 disables restarts.  Restarts do not
   /// affect completeness statistics — a run that ends by exhausting the

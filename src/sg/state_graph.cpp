@@ -10,16 +10,24 @@
 namespace mps::sg {
 
 SignalId StateGraph::find_signal(std::string_view name) const {
-  for (SignalId s = 0; s < signals_.size(); ++s) {
-    if (signals_[s].name == name) return s;
-  }
-  return stg::kNoSignal;
+  // Hash lookup instead of a linear scan: several call sites sit inside
+  // per-state loops, where O(#signals) per call added up.
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? stg::kNoSignal : it->second;
+}
+
+void StateGraph::index_signal(SignalId s) {
+  // try_emplace keeps the first (lowest) id on duplicate names, matching
+  // the linear scan this index replaced.
+  by_name_.try_emplace(signals_[s].name, s);
 }
 
 SignalId StateGraph::add_signal(const SignalInfo& info, bool value) {
   signals_.push_back(info);
   for (auto& code : codes_) code.push_back(value);
-  return static_cast<SignalId>(signals_.size() - 1);
+  const SignalId s = static_cast<SignalId>(signals_.size() - 1);
+  index_signal(s);
+  return s;
 }
 
 StateId StateGraph::add_state(util::BitVec code) {

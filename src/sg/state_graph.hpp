@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "petri/net.hpp"
@@ -46,7 +47,9 @@ struct BuildOptions {
 class StateGraph {
  public:
   StateGraph() = default;
-  explicit StateGraph(std::vector<SignalInfo> signals) : signals_(std::move(signals)) {}
+  explicit StateGraph(std::vector<SignalInfo> signals) : signals_(std::move(signals)) {
+    for (SignalId s = 0; s < signals_.size(); ++s) index_signal(s);
+  }
 
   /// Exhaustive reachability + consistent-code inference (§2).  Throws
   /// util::SemanticsError if the STG admits no consistent state assignment
@@ -97,7 +100,21 @@ class StateGraph {
   void check_consistency() const;
 
  private:
+  /// Heterogeneous string hashing so find_signal(string_view) needs no
+  /// temporary std::string.
+  struct NameHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  void index_signal(SignalId s);
+
   std::vector<SignalInfo> signals_;
+  /// name -> lowest SignalId with that name (same answer as a front-to-back
+  /// linear scan); maintained by the constructor and add_signal().
+  std::unordered_map<std::string, SignalId, NameHash, std::equal_to<>> by_name_;
   std::vector<util::BitVec> codes_;       // per state; width == signals_.size()
   std::vector<std::vector<Edge>> out_;    // per state
   StateId initial_ = 0;

@@ -241,6 +241,82 @@ TEST(Dimacs, RejectsMalformedInput) {
   EXPECT_THROW(parse_dimacs("p cnf 1 1\n5 0\n"), mps::util::ParseError);  // var out of range
 }
 
+/// Thousands of forced not-equal pairs: (a ∨ b) ∧ (¬a ∨ ¬b).  Every
+/// decision triggers a unit propagation and none ever conflicts, so the
+/// search runs decision-after-decision with zero backtracks — the shape
+/// that used to dodge the time-limit check entirely (it only ran every 256
+/// backtracks).
+Cnf propagation_heavy(int pairs) {
+  Cnf cnf;
+  for (int i = 0; i < pairs; ++i) {
+    const Var a = cnf.new_var();
+    const Var b = cnf.new_var();
+    cnf.add_clause({pos(a), pos(b)});
+    cnf.add_clause({neg(a), neg(b)});
+  }
+  return cnf;
+}
+
+TEST(Solver, TimeLimitHonoredWithoutBacktracks) {
+  SolveOptions opts;
+  opts.time_limit_s = 1e-3;
+  SolveStats stats;
+  mps::util::Timer timer;
+  const Outcome out = Solver().solve(propagation_heavy(30000), nullptr, &stats, opts);
+  EXPECT_EQ(out, Outcome::Limit);
+  EXPECT_EQ(stats.backtracks, 0);  // the conflict-path check cannot have fired
+  EXPECT_LT(timer.seconds(), 5.0);
+}
+
+TEST(Solver, PropagationHeavyInstanceIsSatWithoutLimits) {
+  Model m;
+  const Cnf cnf = propagation_heavy(500);
+  SolveStats stats;
+  ASSERT_EQ(Solver().solve(cnf, &m, &stats), Outcome::Sat);
+  EXPECT_TRUE(cnf.satisfied_by(m));
+  EXPECT_EQ(stats.backtracks, 0);
+}
+
+TEST(Solver, InterruptTokenStopsSearch) {
+  std::atomic<bool> interrupt{true};  // pre-set: must stop at the first check
+  SolveOptions opts;
+  opts.interrupt = &interrupt;
+  mps::util::Timer timer;
+  EXPECT_EQ(Solver().solve(pigeonhole(8, 7), nullptr, nullptr, opts), Outcome::Limit);
+  EXPECT_LT(timer.seconds(), 1.0);
+  interrupt = false;
+  EXPECT_EQ(Solver().solve(pigeonhole(4, 3), nullptr, nullptr, opts), Outcome::Unsat);
+}
+
+TEST(Solver, DeadlineStopsSearch) {
+  SolveOptions opts;
+  opts.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  EXPECT_EQ(Solver().solve(pigeonhole(8, 7), nullptr, nullptr, opts), Outcome::Limit);
+  opts.deadline = std::chrono::steady_clock::now() + std::chrono::hours(1);
+  EXPECT_EQ(Solver().solve(pigeonhole(4, 3), nullptr, nullptr, opts), Outcome::Unsat);
+}
+
+TEST(Solver, BranchesFalseFirstEvenWithPositiveMajority) {
+  // Regression test for the removal of the dead `polarity_` accumulator:
+  // branching must stay FALSE-first regardless of literal sign balance.
+  // The CSC encoding relies on this (state-signal value Zero keeps
+  // excitation regions minimal), and a Jeroslow-Wang phase hint measurably
+  // worsened downstream synthesis results on the Table 1 suite.  Here
+  // v0..v2 appear only positively; FALSE-first decides two of them false
+  // and propagation forces exactly one true (a TRUE-first hint would have
+  // set all three true).
+  Cnf cnf;
+  const Var v0 = cnf.new_var();
+  const Var v1 = cnf.new_var();
+  const Var v2 = cnf.new_var();
+  cnf.add_clause({pos(v0), pos(v1), pos(v2)});
+  Model m;
+  SolveStats stats;
+  ASSERT_EQ(Solver().solve(cnf, &m, &stats), Outcome::Sat);
+  EXPECT_EQ(static_cast<int>(m[v0]) + static_cast<int>(m[v1]) + static_cast<int>(m[v2]), 1);
+  EXPECT_EQ(stats.backtracks, 0);
+}
+
 TEST(Solver, DeterministicWithFixedSeed) {
   mps::util::Rng rng(7);
   const Cnf cnf = random_3sat(rng, 40, 120);

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "util/bitvec.hpp"
 #include "util/common.hpp"
 #include "util/text.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -166,6 +170,63 @@ TEST(Errors, HierarchyAndMessages) {
   EXPECT_EQ(pe.line(), 12);
   EXPECT_THROW(throw mps::util::SemanticsError("x"), mps::util::Error);
   EXPECT_THROW(throw mps::util::LimitError("y"), mps::util::Error);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(mps::util::ThreadPool::hardware_threads(), 1u);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    mps::util::ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ResultsLandInIndexedSlots) {
+  mps::util::ThreadPool pool(4);
+  std::vector<std::size_t> out(257);
+  pool.parallel_for(out.size(), [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  mps::util::ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int job = 0; job < 20; ++job) {
+    pool.parallel_for(10, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ThreadPool, EmptyJobIsNoOp) {
+  mps::util::ThreadPool pool(2);
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, PropagatesException) {
+  mps::util::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 42) throw mps::util::LimitError("boom");
+                                 }),
+               mps::util::LimitError);
+  // The pool survives a throwing job.
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, SingleThreadRunsInOrder) {
+  mps::util::ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(16, [&](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> expect(16);
+  std::iota(expect.begin(), expect.end(), 0u);
+  EXPECT_EQ(order, expect);
 }
 
 }  // namespace
