@@ -21,6 +21,29 @@ void BM_StateGraphFromStg(benchmark::State& state) {
 }
 BENCHMARK(BM_StateGraphFromStg)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
 
+void BM_Reachability(benchmark::State& state, const char* name) {
+  const auto stg = benchmarks::find_benchmark(name)->make();
+  for (auto _ : state) {
+    const auto r = petri::reachability(stg.net(), stg.initial_marking());
+    benchmark::DoNotOptimize(r.markings.size());
+  }
+  state.counters["markings"] = static_cast<double>(
+      petri::reachability(stg.net(), stg.initial_marking()).markings.size());
+}
+BENCHMARK_CAPTURE(BM_Reachability, mmu0, "mmu0");
+BENCHMARK_CAPTURE(BM_Reachability, mr0, "mr0");
+
+void BM_InferCodes(benchmark::State& state, const char* name) {
+  const auto stg = benchmarks::find_benchmark(name)->make();
+  const auto reach = petri::reachability(stg.net(), stg.initial_marking());
+  for (auto _ : state) {
+    const auto codes = sg::infer_codes(stg, reach);
+    benchmark::DoNotOptimize(codes.size());
+  }
+}
+BENCHMARK_CAPTURE(BM_InferCodes, mmu0, "mmu0");
+BENCHMARK_CAPTURE(BM_InferCodes, mr0, "mr0");
+
 void BM_AnalyzeCsc(benchmark::State& state, const char* name) {
   const auto g =
       sg::StateGraph::from_stg(benchmarks::find_benchmark(name)->make());

@@ -14,7 +14,9 @@
 // util::ThreadPool (`--threads N`; `--threads 1` reproduces the serial
 // run) and printed in table order afterwards.  Each row's synthesis runs
 // with num_threads = 1 so the printed per-row cpu columns stay comparable
-// with the paper's single-core measurements.
+// with the paper's single-core measurements.  `--json PATH` additionally
+// writes a machine-readable report (one record per benchmark × method)
+// for the perf-regression harness; see BENCH_table1.json.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,6 +49,14 @@ void print_row(const Row& r) {
               r.l_sigs.c_str(), r.l_area.c_str(), r.l_cpu.c_str());
 }
 
+/// One (benchmark, method) record of the machine-readable report.
+struct JsonRow {
+  const char* method;  // "modular" | "direct" | "lavagno"
+  std::size_t states = 0, signals = 0, literals = 0;
+  const char* outcome = "ok";  // "ok" | "LIMIT" | "FAIL"
+  double seconds = 0.0;
+};
+
 /// Everything one benchmark contributes: its two printed rows plus the raw
 /// numbers the summary needs.  Filled concurrently, consumed in order.
 struct BenchResult {
@@ -55,6 +65,7 @@ struct BenchResult {
   bool m_ok = false, v_ok = false, l_ok = false;
   std::size_t m_area = 0, v_area = 0, l_area = 0;
   double m_secs = 0.0, v_secs = 0.0, l_secs = 0.0;
+  JsonRow json[3];
 };
 
 BenchResult run_benchmark(const benchmarks::Benchmark& b) {
@@ -142,20 +153,72 @@ BenchResult run_benchmark(const benchmarks::Benchmark& b) {
   out.m_secs = m.seconds;
   out.v_secs = v.seconds;
   out.l_secs = l.seconds;
+
+  out.json[0] = {"modular", m.final_states, m.final_signals, m.total_literals,
+                 m.success ? "ok" : "FAIL", m.seconds};
+  out.json[1] = {"direct", v.final_states, v.final_signals, v.total_literals,
+                 v.success ? "ok" : (v.hit_limit ? "LIMIT" : "FAIL"), v.seconds};
+  out.json[2] = {"lavagno", l.final_states, l.final_signals, l.total_literals,
+                 l.success ? "ok" : (l.hit_limit ? "LIMIT" : "FAIL"), l.seconds};
   return out;
+}
+
+/// Machine-readable report for the perf-regression harness: one record per
+/// (benchmark, method) with the quality columns and wall time, plus totals.
+/// Compare two runs with a plain diff or jq query; the quality fields must
+/// never drift between commits, the seconds may.  BENCH_table1.json in the
+/// repository root is the committed reference run (`--threads 1`).
+void write_json(const char* path, const std::vector<benchmarks::Benchmark>& benches,
+                const std::vector<BenchResult>& results, unsigned threads, double wall,
+                double cpu_total) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"table1\",\n  \"threads\": %u,\n  \"rows\": [\n",
+               threads);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const JsonRow& r = results[i].json[j];
+      std::fprintf(f,
+                   "    {\"bench\": \"%s\", \"method\": \"%s\", \"states\": %zu, "
+                   "\"signals\": %zu, \"literals\": %zu, \"outcome\": \"%s\", "
+                   "\"seconds\": %.3f}%s\n",
+                   benches[i].name.c_str(), r.method, r.states, r.signals, r.literals,
+                   r.outcome,
+                   r.seconds, (i + 1 == results.size() && j == 2) ? "" : ",");
+    }
+  }
+  int ok = 0, limit = 0, fail = 0;
+  for (const BenchResult& r : results) {
+    for (const JsonRow& row : r.json) {
+      if (std::strcmp(row.outcome, "ok") == 0) ++ok;
+      else if (std::strcmp(row.outcome, "LIMIT") == 0) ++limit;
+      else ++fail;
+    }
+  }
+  std::fprintf(f,
+               "  ],\n  \"totals\": {\"rows_ok\": %d, \"rows_limit\": %d, "
+               "\"rows_fail\": %d, \"wall_seconds\": %.3f, \"cpu_seconds\": %.3f}\n}\n",
+               ok, limit, fail, wall, cpu_total);
+  std::fclose(f);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   unsigned threads = util::ThreadPool::hardware_threads();
+  const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if ((std::strcmp(argv[i], "--threads") == 0 || std::strcmp(argv[i], "-j") == 0) &&
         i + 1 < argc) {
       threads = static_cast<unsigned>(std::atoi(argv[++i]));
       if (threads == 0) threads = 1;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--threads N] [--json PATH]\n", argv[0]);
       return 2;
     }
   }
@@ -234,5 +297,10 @@ int main(int argc, char** argv) {
   std::printf("\nTotal: %.2fs wall on %u thread(s) (%.2fs of per-method cpu time)\n", wall,
               pool.num_threads(), cpu_total);
   std::printf("\nSee EXPERIMENTS.md for the row-by-row discussion.\n");
+
+  if (json_path != nullptr) {
+    write_json(json_path, benches, results, pool.num_threads(), wall, cpu_total);
+    std::printf("Machine-readable report written to %s\n", json_path);
+  }
   return 0;
 }

@@ -100,7 +100,10 @@ LavagnoResult lavagno_synthesis(const sg::StateGraph& input, const LavagnoOption
       }
       break;
     }
-    g = sg::expand(g, assigns).graph;
+    // Per-insertion re-expansion is this baseline's inner loop: skip the
+    // O(V·E) structural re-check, the expansion itself enforces the
+    // invariants.
+    g = sg::expand(g, assigns, /*check_consistency=*/false).graph;
     result.insertions += static_cast<int>(assigns.num_signals());
   }
 

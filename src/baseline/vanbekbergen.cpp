@@ -61,7 +61,7 @@ DirectResult direct_synthesis(const sg::StateGraph& input, const DirectOptions& 
       result.failure_reason = "no assignment within the state-signal bound";
       break;
     }
-    g = sg::expand(g, assigns).graph;
+    g = sg::expand(g, assigns, /*check_consistency=*/false).graph;
   }
 
   const auto final_analysis = sg::analyze_csc(g);

@@ -39,28 +39,45 @@ ReachabilityResult reachability(const Net& net, const Marking& m0,
 
   result.markings.push_back(m0);
   index.emplace(m0, 0);
+  // Safety of the initial marking is checked across all places exactly once;
+  // after that, a firing can only add tokens to the fired transition's
+  // postset, so the per-expansion check below is restricted to it.
+  for (PlaceId p = 0; p < net.num_places(); ++p) {
+    if (m0.tokens(p) > opts.max_tokens_per_place) result.safe = false;
+  }
+
+  // Scratch state reused across expansions: the source-marking copy (needed
+  // because result.markings may reallocate while we push successors), the
+  // fired marking, and the enabled-transition list.  This keeps the loop
+  // allocation-free except for genuinely new markings.
+  Marking m, next;
+  std::vector<TransId> enabled;
 
   std::deque<std::uint32_t> frontier{0};
   while (!frontier.empty()) {
     const std::uint32_t from = frontier.front();
     frontier.pop_front();
-    // Copy: result.markings may reallocate while we push successors.
-    const Marking m = result.markings[from];
-    for (TransId t : net.enabled_transitions(m)) {
-      Marking next = net.fire(m, t);
-      for (PlaceId p = 0; p < net.num_places(); ++p) {
+    m = result.markings[from];
+    net.enabled_transitions(m, &enabled);
+    for (TransId t : enabled) {
+      net.fire_into(m, t, &next);
+      for (PlaceId p : net.trans_post(t)) {
         if (next.tokens(p) > opts.max_tokens_per_place) result.safe = false;
       }
-      auto [it, inserted] = index.emplace(next, static_cast<std::uint32_t>(result.markings.size()));
-      if (inserted) {
-        if (result.markings.size() >= opts.max_markings) {
-          result.complete = false;
-          return result;
-        }
-        result.markings.push_back(std::move(next));
-        frontier.push_back(it->second);
+      const auto it = index.find(next);
+      if (it != index.end()) {
+        result.edges.push_back({from, t, it->second});
+        continue;
       }
-      result.edges.push_back({from, t, it->second});
+      if (result.markings.size() >= opts.max_markings) {
+        result.complete = false;
+        return result;
+      }
+      const std::uint32_t id = static_cast<std::uint32_t>(result.markings.size());
+      index.emplace(next, id);
+      result.markings.push_back(next);
+      frontier.push_back(id);
+      result.edges.push_back({from, t, id});
     }
   }
   return result;

@@ -50,18 +50,28 @@ bool Net::enabled(const Marking& m, TransId t) const {
 
 std::vector<TransId> Net::enabled_transitions(const Marking& m) const {
   std::vector<TransId> out;
-  for (TransId t = 0; t < transitions_.size(); ++t) {
-    if (enabled(m, t)) out.push_back(t);
-  }
+  enabled_transitions(m, &out);
   return out;
 }
 
+void Net::enabled_transitions(const Marking& m, std::vector<TransId>* out) const {
+  out->clear();
+  for (TransId t = 0; t < transitions_.size(); ++t) {
+    if (enabled(m, t)) out->push_back(t);
+  }
+}
+
 Marking Net::fire(const Marking& m, TransId t) const {
-  MPS_ASSERT(enabled(m, t));
-  Marking next = m;
-  for (PlaceId p : transitions_[t].pre) next.remove_token(p);
-  for (PlaceId p : transitions_[t].post) next.add_token(p);
+  Marking next;
+  fire_into(m, t, &next);
   return next;
+}
+
+void Net::fire_into(const Marking& m, TransId t, Marking* out) const {
+  MPS_ASSERT(enabled(m, t));
+  *out = m;  // copy-assign reuses *out's storage in the reachability loop
+  for (PlaceId p : transitions_[t].pre) out->remove_token(p);
+  for (PlaceId p : transitions_[t].post) out->add_token(p);
 }
 
 }  // namespace mps::petri

@@ -94,9 +94,13 @@ class Net {
 
   /// All enabled transitions in `m`, in id order.
   std::vector<TransId> enabled_transitions(const Marking& m) const;
+  /// Allocation-free variant for hot loops: `*out` is cleared and refilled.
+  void enabled_transitions(const Marking& m, std::vector<TransId>* out) const;
 
   /// Fire an enabled transition: M --t--> M'.
   Marking fire(const Marking& m, TransId t) const;
+  /// Allocation-free variant: `*out` receives M' (reusing its storage).
+  void fire_into(const Marking& m, TransId t, Marking* out) const;
 
   Marking empty_marking() const { return Marking(places_.size()); }
 

@@ -13,6 +13,19 @@ namespace {
 constexpr std::int8_t kUnassigned = -1;
 
 /// Internal solver state for one solve() call.
+///
+/// Hot-path layout (DESIGN.md "Hot paths"):
+///   * Clauses live in one contiguous Lit arena (`arena_`) addressed by
+///     per-clause {offset, size} headers — no per-clause vector, no pointer
+///     chasing, and the watch-move scan walks a flat buffer.
+///   * Watch entries carry a blocker literal (MiniSat-style): a clause whose
+///     cached blocker is true and still watched is kept without running the
+///     normalize-and-scan protocol (the stricter still-watched condition is
+///     what keeps the search path bit-identical to the reference solver).
+///   * Branching pops a lazy max-heap ordered by (score_ + activity_,
+///     lowest var id) — the exact total order the previous O(#vars) linear
+///     scan maximized, so the selected variable is identical; see the
+///     HeapMatchesLinearScanReference regression test.
 class Dpll {
  public:
   Dpll(const Cnf& cnf, const SolveOptions& opts) : cnf_(cnf), opts_(opts) {
@@ -21,9 +34,12 @@ class Dpll {
     watches_.assign(2 * n, {});
     score_.assign(n, 0.0);
     activity_.assign(n, 0.0);
+    num_unassigned_ = n;
     rng_ = util::Rng(opts.seed);
 
-    // Copy clauses, set up watches; unit clauses go straight on the trail.
+    // Copy clauses into the arena, set up watches; unit clauses go straight
+    // on the trail.
+    arena_.reserve(cnf.num_literals());
     for (const auto& clause : cnf.clauses()) {
       if (clause.empty()) {
         trivially_unsat_ = true;
@@ -36,14 +52,17 @@ class Dpll {
         }
         continue;
       }
-      clauses_.push_back(clause);
-      const std::uint32_t ci = static_cast<std::uint32_t>(clauses_.size() - 1);
-      watches_[clause[0].x].push_back(ci);
-      watches_[clause[1].x].push_back(ci);
+      const std::uint32_t ci = static_cast<std::uint32_t>(heads_.size());
+      heads_.push_back({static_cast<std::uint32_t>(arena_.size()),
+                        static_cast<std::uint32_t>(clause.size())});
+      arena_.insert(arena_.end(), clause.begin(), clause.end());
+      watches_[clause[0].x].push_back({ci, clause[1]});
+      watches_[clause[1].x].push_back({ci, clause[0]});
       // Static branching score: short clauses weigh more (Jeroslow-Wang).
       const double w = std::pow(2.0, -static_cast<double>(clause.size()));
       for (const Lit l : clause) score_[l.var()] += w;
     }
+    heap_build();
   }
 
   Outcome run(Model* model, SolveStats* stats) {
@@ -73,8 +92,88 @@ class Dpll {
     if (value_false(l)) return false;
     if (value_true(l)) return true;
     assign_[l.var()] = l.negated() ? 0 : 1;
+    --num_unassigned_;
     trail_.push_back(l);
     return true;
+  }
+
+  // --- lazy variable-order heap ---------------------------------------
+  //
+  // Max-heap over unassigned (plus lazily stale assigned) variables under
+  // the strict total order "higher score_+activity_ first, lower var id on
+  // ties".  The tie-break makes the order total, so the heap root is the
+  // unique maximum — the same variable a front-to-back linear scan keeping
+  // strict improvements would report.  Assigned variables are popped and
+  // dropped lazily; undo_to() re-inserts on unassignment.  Activity bumps
+  // only increase keys (percolate up); the rare rescale rebuilds.
+
+  bool heap_before(Var a, Var b) const {
+    const double ka = score_[a] + activity_[a];
+    const double kb = score_[b] + activity_[b];
+    return ka > kb || (ka == kb && a < b);
+  }
+
+  void heap_sift_up(std::size_t i) {
+    const Var v = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!heap_before(v, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+      i = parent;
+    }
+    heap_[i] = v;
+    heap_pos_[v] = static_cast<std::int32_t>(i);
+  }
+
+  void heap_sift_down(std::size_t i) {
+    const Var v = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && heap_before(heap_[child + 1], heap_[child])) ++child;
+      if (!heap_before(heap_[child], v)) break;
+      heap_[i] = heap_[child];
+      heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+      i = child;
+    }
+    heap_[i] = v;
+    heap_pos_[v] = static_cast<std::int32_t>(i);
+  }
+
+  void heap_build() {
+    const std::size_t n = cnf_.num_vars();
+    heap_.resize(n);
+    heap_pos_.assign(n, -1);
+    for (Var v = 0; v < n; ++v) heap_[v] = v;
+    for (std::size_t i = n; i-- > 0;) heap_sift_down(i);
+  }
+
+  void heap_insert(Var v) {
+    if (heap_pos_[v] >= 0) return;
+    heap_.push_back(v);
+    heap_sift_up(heap_.size() - 1);
+  }
+
+  /// Restore heap order after the key of `v` increased (activity bump).
+  void heap_increased(Var v) {
+    if (heap_pos_[v] >= 0) heap_sift_up(static_cast<std::size_t>(heap_pos_[v]));
+  }
+
+  /// Pop the maximum-order variable, or kNoVar if the heap is empty.
+  Var heap_pop() {
+    if (heap_.empty()) return kNoVar;
+    const Var top = heap_[0];
+    heap_pos_[top] = -1;
+    const Var last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_[0] = last;
+      heap_pos_[last] = 0;
+      heap_sift_down(0);
+    }
+    return top;
   }
 
   /// Two-watched-literal unit propagation.  Returns false on conflict and
@@ -89,34 +188,48 @@ class Dpll {
       std::size_t keep = 0;
       bool conflict = false;
       for (std::size_t wi = 0; wi < watch_list.size(); ++wi) {
-        const std::uint32_t ci = watch_list[wi];
+        const Watch w = watch_list[wi];
         if (conflict) {
-          watch_list[keep++] = ci;
+          watch_list[keep++] = w;
           continue;
         }
-        auto& clause = clauses_[ci];
+        const ClauseHead h = heads_[w.clause];
+        Lit* lits = arena_.data() + h.offset;
+        // Blocker fast path: the cached literal is true AND still one of the
+        // two watched positions — then it is the *other* watched literal
+        // (the false one is being visited), the clause is satisfied, and the
+        // reference algorithm kept this watch too.  A stale true blocker
+        // that drifted out of the watched pair must NOT short-circuit: the
+        // reference scan may move the watch instead, and keeping it changes
+        // which conflict is found first and hence the activity-driven search
+        // path (observed as diverging Table 1 columns).
+        if (value_true(w.blocker) && (lits[0] == w.blocker || lits[1] == w.blocker)) {
+          watch_list[keep++] = w;
+          continue;
+        }
         // Ensure the false literal is at position 1.
-        if (clause[0] == false_lit) std::swap(clause[0], clause[1]);
-        if (value_true(clause[0])) {
-          watch_list[keep++] = ci;  // already satisfied
+        if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+        const Lit first = lits[0];
+        if (value_true(first)) {
+          watch_list[keep++] = {w.clause, first};  // already satisfied
           continue;
         }
         // Look for a replacement watch.
         bool moved = false;
-        for (std::size_t k = 2; k < clause.size(); ++k) {
-          if (!value_false(clause[k])) {
-            std::swap(clause[1], clause[k]);
-            watches_[clause[1].x].push_back(ci);
+        for (std::uint32_t k = 2; k < h.size; ++k) {
+          if (!value_false(lits[k])) {
+            std::swap(lits[1], lits[k]);
+            watches_[lits[1].x].push_back({w.clause, first});
             moved = true;
             break;
           }
         }
         if (moved) continue;  // watch moved away, drop from this list
-        // Clause is unit (or conflicting) on clause[0].
-        watch_list[keep++] = ci;
-        if (!enqueue(clause[0])) {
+        // Clause is unit (or conflicting) on `first`.
+        watch_list[keep++] = {w.clause, first};
+        if (!enqueue(first)) {
           conflict = true;
-          conflict_clause_ = ci;
+          conflict_clause_ = w.clause;
         }
       }
       watch_list.resize(keep);
@@ -128,7 +241,10 @@ class Dpll {
   /// Undo the trail down to `target` length.
   void undo_to(std::size_t target) {
     while (trail_.size() > target) {
-      assign_[trail_.back().var()] = kUnassigned;
+      const Var v = trail_.back().var();
+      assign_[v] = kUnassigned;
+      ++num_unassigned_;
+      heap_insert(v);
       trail_.pop_back();
     }
     qhead_ = trail_.size();
@@ -142,26 +258,35 @@ class Dpll {
 
   Lit pick_branch() {
     // Occasional random decisions diversify the search across restarts.
+    // num_unassigned_ is maintained by enqueue()/undo_to(), so this path
+    // costs one scan (to the picked variable), not two full ones.
     if (rng_.chance(0.02)) {
-      std::size_t unassigned = 0;
-      for (Var v = 0; v < cnf_.num_vars(); ++v) unassigned += assign_[v] == kUnassigned;
-      if (unassigned > 0) {
-        std::uint64_t pick = rng_.below(unassigned);
+      if (num_unassigned_ > 0) {
+        std::uint64_t pick = rng_.below(num_unassigned_);
         for (Var v = 0; v < cnf_.num_vars(); ++v) {
           if (assign_[v] == kUnassigned && pick-- == 0) return phased(v);
         }
       }
     }
-    Var best = kNoVar;
-    double best_score = -1.0;
-    for (Var v = 0; v < cnf_.num_vars(); ++v) {
-      if (assign_[v] == kUnassigned && score_[v] + activity_[v] > best_score) {
-        best = v;
-        best_score = score_[v] + activity_[v];
+    if (opts_.reference_linear_branching) {
+      // Reference implementation pinned by the determinism regression test:
+      // the heap below must select exactly this variable.
+      Var best = kNoVar;
+      double best_score = -1.0;
+      for (Var v = 0; v < cnf_.num_vars(); ++v) {
+        if (assign_[v] == kUnassigned && score_[v] + activity_[v] > best_score) {
+          best = v;
+          best_score = score_[v] + activity_[v];
+        }
       }
+      if (best == kNoVar) return Lit{};
+      return phased(best);
     }
-    if (best == kNoVar) return Lit{};
-    return phased(best);
+    for (;;) {
+      const Var v = heap_pop();
+      if (v == kNoVar) return Lit{};
+      if (assign_[v] == kUnassigned) return phased(v);
+    }
   }
 
   /// Conflict-driven activity (VSIDS-style bump/decay) — adaptive
@@ -169,13 +294,19 @@ class Dpll {
   /// the original SIS solver.
   void bump_conflict_activity() {
     if (conflict_clause_ == kNoClause) return;
-    for (const Lit l : clauses_[conflict_clause_]) {
-      activity_[l.var()] += activity_inc_;
+    const ClauseHead h = heads_[conflict_clause_];
+    for (std::uint32_t k = 0; k < h.size; ++k) {
+      const Var v = arena_[h.offset + k].var();
+      activity_[v] += activity_inc_;
+      heap_increased(v);
     }
     activity_inc_ *= 1.05;
     if (activity_inc_ > 1e100) {
       for (auto& a : activity_) a *= 1e-100;
       activity_inc_ *= 1e-100;
+      // The rescale shifts score_+activity_ sums non-uniformly; restore the
+      // heap invariant wholesale.
+      for (std::size_t i = heap_.size(); i-- > 0;) heap_sift_down(i);
     }
   }
 
@@ -244,6 +375,7 @@ class Dpll {
       const Lit branch = pick_branch();
       if (!branch.valid()) return Outcome::Sat;  // total assignment, all clauses satisfied
       ++decisions_;
+      if (opts_.decision_log != nullptr) opts_.decision_log->push_back(branch);
       decisions.push_back({branch, trail_.size(), false});
       const bool ok = enqueue(branch);
       MPS_ASSERT(ok);
@@ -254,14 +386,32 @@ class Dpll {
   const SolveOptions& opts_;
   bool trivially_unsat_ = false;
 
-  std::vector<std::vector<Lit>> clauses_;
-  std::vector<std::vector<std::uint32_t>> watches_;  // indexed by Lit.x
+  /// Clause `ci` is arena_[offset .. offset+size).
+  struct ClauseHead {
+    std::uint32_t offset;
+    std::uint32_t size;
+  };
+  /// One watch-list entry: clause index plus a cached literal of that clause
+  /// (the other watched literal at the time the entry was written); if the
+  /// blocker is true and still watched, the clause is satisfied and the
+  /// entry is kept without the normalize-and-scan step.
+  struct Watch {
+    std::uint32_t clause;
+    Lit blocker;
+  };
+
+  std::vector<Lit> arena_;
+  std::vector<ClauseHead> heads_;
+  std::vector<std::vector<Watch>> watches_;  // indexed by Lit.x
   std::vector<std::int8_t> assign_;
   std::vector<Lit> trail_;
   std::size_t qhead_ = 0;
+  std::size_t num_unassigned_ = 0;
   std::vector<double> score_;
   std::vector<double> activity_;
   double activity_inc_ = 1.0;
+  std::vector<Var> heap_;            // binary max-heap of candidate branch vars
+  std::vector<std::int32_t> heap_pos_;  // var -> index in heap_, -1 if absent
   static constexpr std::uint32_t kNoClause = 0xFFFFFFFFu;
   std::uint32_t conflict_clause_ = kNoClause;
   util::Rng rng_;

@@ -43,6 +43,16 @@ struct SolveOptions {
   std::int64_t restart_interval = 256;
   /// Seed for branching tie randomization (restarts explore new regions).
   std::uint64_t seed = 0x9E3779B9;
+  /// Test/reference hook: select branch variables with the original O(#vars)
+  /// linear scan instead of the variable-order heap.  Both maximize the same
+  /// total order (score+activity desc, var id asc), so the decision sequence
+  /// must be identical — the HeapMatchesLinearScanReference regression test
+  /// pins exactly that.  Never set on a production path.
+  bool reference_linear_branching = false;
+  /// When non-null, every fresh branch decision literal is appended (flips
+  /// on backtrack are not logged; they are determined by the decisions).
+  /// Test-only observability for the determinism regression tests.
+  std::vector<Lit>* decision_log = nullptr;
 };
 
 struct SolveStats {

@@ -1,9 +1,7 @@
 #include "sg/csc.hpp"
 
 #include <algorithm>
-#include <string>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "util/common.hpp"
 
@@ -22,25 +20,59 @@ int ceil_log2(std::size_t n) {
 
 namespace {
 
-/// The behaviour signature compared between code-equal states.  Two states
-/// with equal codes and equal signatures are CSC-compatible.
-std::string signature(const StateGraph& g, StateId s, const Assignments* assigns,
-                      const CscOptions& opts) {
-  std::string key;
-  if (opts.focus_signal != stg::kNoSignal) {
-    key += g.excited_dir(s, opts.focus_signal, true) ? 'R' : '.';
-    key += g.excited_dir(s, opts.focus_signal, false) ? 'F' : '.';
-  } else {
-    key += g.excited_non_input(s).to_string();
+/// The behaviour signature compared between code-equal states, packed into
+/// a fixed number of 64-bit words per state instead of a heap-allocated
+/// string (DESIGN.md "Hot paths").  Layout: the excitation part first
+/// (2 bits for a focus signal, else one bit per signal of the
+/// excited-non-input set), then 2 bits per inserted state signal encoding
+/// {Up, Down, stable} — the same three-way distinction the old character
+/// key made (Zero and One both rendered as '.').  Packing is injective per
+/// component, so key equality coincides with string equality.
+class SignatureKeys {
+ public:
+  SignatureKeys(const StateGraph& g, const Assignments* assigns, const CscOptions& opts)
+      : g_(g), assigns_(assigns), focus_(opts.focus_signal) {
+    const std::size_t excite_bits = focus_ != stg::kNoSignal ? 2 : g.num_signals();
+    assign_base_ = excite_bits;
+    const std::size_t total_bits =
+        excite_bits + 2 * (assigns != nullptr ? assigns->num_signals() : 0);
+    words_ = std::max<std::size_t>(1, (total_bits + 63) / 64);
   }
-  if (assigns != nullptr) {
-    for (std::size_t k = 0; k < assigns->num_signals(); ++k) {
-      const V4 v = assigns->value(k, s);
-      key += v == V4::Up ? 'U' : v == V4::Down ? 'D' : '.';
+
+  std::size_t words_per_key() const { return words_; }
+
+  /// Write the signature of state `s` into `out[0 .. words_per_key())`.
+  void fill(StateId s, std::uint64_t* out) const {
+    std::fill(out, out + words_, 0);
+    if (focus_ != stg::kNoSignal) {
+      if (g_.excited_dir(s, focus_, true)) out[0] |= 1u;
+      if (g_.excited_dir(s, focus_, false)) out[0] |= 2u;
+    } else {
+      // excited_non_input(s), written straight into the key words: set the
+      // bit of every non-silent edge label, then mask the input columns.
+      for (const Edge& e : g_.out(s)) {
+        if (!e.is_silent()) out[e.sig >> 6] |= std::uint64_t{1} << (e.sig & 63);
+      }
+      const util::BitVec& inputs = g_.input_mask();
+      for (std::size_t wi = 0; wi < inputs.num_words(); ++wi) out[wi] &= ~inputs.word(wi);
+    }
+    if (assigns_ != nullptr) {
+      for (std::size_t k = 0; k < assigns_->num_signals(); ++k) {
+        const V4 v = assigns_->value(k, s);
+        const std::uint64_t code = v == V4::Up ? 1 : v == V4::Down ? 2 : 0;
+        const std::size_t bit = assign_base_ + 2 * k;
+        out[bit >> 6] |= code << (bit & 63);
+      }
     }
   }
-  return key;
-}
+
+ private:
+  const StateGraph& g_;
+  const Assignments* assigns_;
+  SignalId focus_;
+  std::size_t assign_base_ = 0;
+  std::size_t words_ = 1;
+};
 
 }  // namespace
 
@@ -50,20 +82,29 @@ CscResult analyze_csc(const StateGraph& g, const Assignments* assigns, const Csc
   std::unordered_map<util::BitVec, std::vector<StateId>, util::BitVecHash> by_code;
   for (StateId s = 0; s < g.num_states(); ++s) by_code[g.code(s)].push_back(s);
 
+  const SignatureKeys keys(g, assigns, opts);
+  const std::size_t W = keys.words_per_key();
+  std::vector<std::uint64_t> sigs;       // k packed signatures, reused per class
+  std::vector<char> in_conflict;         // per class member, reused
+  std::vector<std::uint32_t> distinct;   // member indices of distinct conflicted sigs
+
   for (const auto& [code, states] : by_code) {
     const std::size_t k = states.size();
     if (k < 2) continue;
     result.num_usc_pairs += k * (k - 1) / 2;
     result.max_class_size = std::max(result.max_class_size, k);
 
-    std::vector<std::string> sigs(k);
-    for (std::size_t i = 0; i < k; ++i) {
-      sigs[i] = signature(g, states[i], assigns, opts);
-    }
+    sigs.assign(k * W, 0);
+    for (std::size_t i = 0; i < k; ++i) keys.fill(states[i], sigs.data() + i * W);
+    const auto same_sig = [&](std::size_t i, std::size_t j) {
+      return std::equal(sigs.begin() + i * W, sigs.begin() + (i + 1) * W,
+                        sigs.begin() + j * W);
+    };
 
-    // Signature groups among states in at least one unresolved conflict:
-    // the states that still need distinguishing.
-    std::unordered_set<std::string> conflict_sigs;
+    // States in at least one unresolved conflict: the states that still
+    // need distinguishing; the number of distinct signatures among them
+    // lower-bounds the state signals this class requires.
+    in_conflict.assign(k, 0);
     bool class_has_conflict = false;
     for (std::size_t i = 0; i < k; ++i) {
       for (std::size_t j = i + 1; j < k; ++j) {
@@ -71,18 +112,29 @@ CscResult analyze_csc(const StateGraph& g, const Assignments* assigns, const Csc
         StateId a = states[i];
         StateId b = states[j];
         if (a > b) std::swap(a, b);
-        if (sigs[i] == sigs[j]) {
+        if (same_sig(i, j)) {
           result.compatible_pairs.emplace_back(a, b);
         } else {
           result.conflicts.emplace_back(a, b);
           class_has_conflict = true;
-          conflict_sigs.insert(sigs[i]);
-          conflict_sigs.insert(sigs[j]);
+          in_conflict[i] = in_conflict[j] = 1;
         }
       }
     }
     if (class_has_conflict) {
-      result.lower_bound = std::max(result.lower_bound, ceil_log2(conflict_sigs.size()));
+      distinct.clear();
+      for (std::uint32_t i = 0; i < k; ++i) {
+        if (!in_conflict[i]) continue;
+        bool seen = false;
+        for (const std::uint32_t rep : distinct) {
+          if (same_sig(i, rep)) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) distinct.push_back(i);
+      }
+      result.lower_bound = std::max(result.lower_bound, ceil_log2(distinct.size()));
     }
   }
 

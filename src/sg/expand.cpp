@@ -26,7 +26,7 @@ struct KeyHash {
 
 }  // namespace
 
-Expansion expand(const StateGraph& g, const Assignments& assigns) {
+Expansion expand(const StateGraph& g, const Assignments& assigns, bool check_consistency) {
   MPS_ASSERT(assigns.num_states() == g.num_states() || assigns.empty());
   MPS_ASSERT(assigns.num_signals() <= 64);
   if (const auto bad = assigns.check_coherence(g); bad.has_value()) {
@@ -114,7 +114,7 @@ Expansion expand(const StateGraph& g, const Assignments& assigns) {
     }
   }
 
-  result.graph.check_consistency();
+  if (check_consistency) result.graph.check_consistency();
   return result;
 }
 

@@ -24,7 +24,11 @@ struct Expansion {
 /// Expand `g` with the inserted signals of `assigns`.  Requires
 /// assigns.check_coherence(g) to pass; throws util::SemanticsError
 /// otherwise.  With an empty `assigns` this is a copy.
-Expansion expand(const StateGraph& g, const Assignments& assigns);
+/// `check_consistency` runs the O(V·E) structural self-check on the result;
+/// baseline flows that re-expand in a tight insertion loop pass false
+/// (construction guarantees the invariants, the check is defense in depth).
+Expansion expand(const StateGraph& g, const Assignments& assigns,
+                 bool check_consistency = true);
 
 /// Semi-modularity (§2): no enabled non-input transition is disabled by the
 /// firing of another transition.  Input signals may be disabled by other

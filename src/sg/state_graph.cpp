@@ -1,7 +1,6 @@
 #include "sg/state_graph.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <unordered_map>
 
 #include "petri/analysis.hpp"
@@ -27,6 +26,7 @@ SignalId StateGraph::add_signal(const SignalInfo& info, bool value) {
   for (auto& code : codes_) code.push_back(value);
   const SignalId s = static_cast<SignalId>(signals_.size() - 1);
   index_signal(s);
+  input_mask_.push_back(info.is_input);
   return s;
 }
 
@@ -47,9 +47,7 @@ util::BitVec StateGraph::excited(StateId s) const {
 
 util::BitVec StateGraph::excited_non_input(StateId s) const {
   util::BitVec bits = excited(s);
-  for (SignalId sig = 0; sig < signals_.size(); ++sig) {
-    if (signals_[sig].is_input) bits.reset(sig);
-  }
+  bits.and_not(input_mask_);
   return bits;
 }
 
@@ -58,12 +56,6 @@ bool StateGraph::excited_dir(StateId s, SignalId sig, bool rise) const {
     if (!e.is_silent() && e.sig == sig && e.rise == rise) return true;
   }
   return false;
-}
-
-std::size_t StateGraph::num_edges() const {
-  std::size_t n = 0;
-  for (const auto& v : out_) n += v.size();
-  return n;
 }
 
 std::size_t StateGraph::num_concurrent_pairs() const {
@@ -99,118 +91,98 @@ void StateGraph::check_consistency() const {
       // and all other signals keep their value.
       MPS_ASSERT(codes_[s].test(e.sig) == !e.rise);
       MPS_ASSERT(codes_[e.to].test(e.sig) == e.rise);
-      util::BitVec diff = codes_[s] ^ codes_[e.to];
-      MPS_ASSERT(diff.count() == 1);
+      MPS_ASSERT(codes_[s].count_diff(codes_[e.to]) == 1);
     }
   }
 }
 
-namespace {
-
 /// Infer the value of every signal in every marking (consistent state
-/// assignment).  Relations between adjacent markings: non-s edges preserve
-/// s's value; s+ / s- edges force both endpoint values; s~ flips.
+/// assignment), in ONE pass over the reachability edges for all signals at
+/// once (DESIGN.md "Hot paths").  The constraint system per signal s is:
+/// non-s edges preserve s's value, s~ flips it, s+ / s- flip it *and* pin
+/// the absolute endpoint values (from=0/to=1 resp. from=1/to=0).  Because
+/// every relation is "preserve or flip", each state's value is the value at
+/// state 0 XOR the flip parity along any path — so one sweep computes
+/// per-state codes *relative to state 0* for all signals simultaneously
+/// (reachability emits edges in BFS discovery order: an edge's source state
+/// is always coded before the edge is scanned).  Rise/fall edges pin the
+/// state-0 value base[s]; signals without any rise/fall seed base[s] from
+/// the declared initial value.  Non-tree edges are verified against the
+/// relative codes; a parity mismatch or conflicting pin on signal s is
+/// exactly the contradiction the old per-signal BFS detected, and the
+/// lowest such signal id is reported, matching the per-signal scan order.
 std::vector<util::BitVec> infer_codes(const stg::Stg& stg,
                                       const petri::ReachabilityResult& reach) {
   const std::size_t num_states = reach.markings.size();
   const std::size_t num_signals = stg.num_signals();
 
-  // Adjacency with relation info per signal.
-  struct Adj {
-    std::uint32_t other;
-    std::uint8_t rel;      // 0 = equal, 1 = flip (s~), 2 = forced (dir gives values)
-    bool rise;             // for rel==2: edge is s+ (from=0,to=1) or s- (1 -> 0)
-    bool forward;          // true if this entry is (from -> to)
-  };
-
   std::vector<util::BitVec> codes(num_states, util::BitVec(num_signals));
+  std::vector<char> coded(num_states, 0);
+  coded[0] = 1;
 
+  util::BitVec inconsistent(num_signals);
+  util::BitVec base_known(num_signals);
+  util::BitVec base(num_signals);
+  util::BitVec scratch(num_signals);
+
+  for (const auto& e : reach.edges) {
+    const stg::Label& l = stg.label(e.trans);
+    if (!coded[e.to]) {
+      codes[e.to] = codes[e.from];  // same width: reuses the preallocated words
+      if (!l.is_silent()) codes[e.to].flip(l.sig);
+      coded[e.to] = 1;
+    } else {
+      // Non-tree edge: relative codes must agree up to the labelled flip.
+      // Any other differing bit means an odd-parity cycle for that signal.
+      scratch = codes[e.from];
+      scratch ^= codes[e.to];
+      if (!l.is_silent()) scratch.flip(l.sig);
+      inconsistent |= scratch;
+    }
+    if (!l.is_silent() && (l.pol == stg::Polarity::Rise || l.pol == stg::Polarity::Fall)) {
+      // abs(from) = rel(from) ^ base must be 0 for s+ and 1 for s-.
+      const bool want = codes[e.from].test(l.sig) ^ (l.pol == stg::Polarity::Rise ? false : true);
+      if (base_known.test(l.sig)) {
+        if (base.test(l.sig) != want) inconsistent.set(l.sig);
+      } else {
+        base_known.set(l.sig);
+        base.set(l.sig, want);
+      }
+    }
+  }
+  bool all_coded = true;
+  for (std::uint32_t st = 0; st < num_states; ++st) all_coded &= coded[st] != 0;
+
+  stg::SignalId first_real = stg::kNoSignal;
   for (stg::SignalId s = 0; s < num_signals; ++s) {
     if (stg.signal_kind(s) == stg::SignalKind::Dummy) continue;
-    // Build the per-signal relation graph (undirected propagation).
-    std::vector<std::vector<Adj>> adj(num_states);
-    bool any_forced = false;
-    for (const auto& e : reach.edges) {
-      const stg::Label& l = stg.label(e.trans);
-      std::uint8_t rel = 0;
-      bool rise = false;
-      if (l.sig == s && !l.is_silent()) {
-        if (l.pol == stg::Polarity::Toggle) {
-          rel = 1;
-        } else {
-          rel = 2;
-          rise = l.pol == stg::Polarity::Rise;
-          any_forced = true;
-        }
-      }
-      adj[e.from].push_back({e.to, rel, rise, true});
-      adj[e.to].push_back({e.from, rel, rise, false});
+    if (first_real == stg::kNoSignal) first_real = s;
+    if (inconsistent.test(s)) {
+      throw util::SemanticsError("STG '" + stg.name() +
+                                 "' has no consistent state assignment for signal " +
+                                 stg.signal_name(s));
     }
-
-    std::vector<int> val(num_states, -1);
-    std::deque<std::uint32_t> queue;
-    auto assign = [&](std::uint32_t state, int v) {
-      if (val[state] == -1) {
-        val[state] = v;
-        queue.push_back(state);
-      } else if (val[state] != v) {
-        throw util::SemanticsError("STG '" + stg.name() +
-                                   "' has no consistent state assignment for signal " +
-                                   stg.signal_name(s));
-      }
-    };
-
-    if (any_forced) {
-      for (const auto& e : reach.edges) {
-        const stg::Label& l = stg.label(e.trans);
-        if (l.sig == s && (l.pol == stg::Polarity::Rise || l.pol == stg::Polarity::Fall)) {
-          const bool rise = l.pol == stg::Polarity::Rise;
-          assign(e.from, rise ? 0 : 1);
-          assign(e.to, rise ? 1 : 0);
-        }
-      }
-    } else {
+    if (!base_known.test(s)) {
       // Signal never rises/falls explicitly: seed from the declared initial
       // value, defaulting to 0.
       const auto declared = stg.initial_value(s);
-      assign(0, declared.value_or(false) ? 1 : 0);
-    }
-
-    while (!queue.empty()) {
-      const std::uint32_t u = queue.front();
-      queue.pop_front();
-      for (const Adj& a : adj[u]) {
-        switch (a.rel) {
-          case 0:
-            assign(a.other, val[u]);
-            break;
-          case 1:
-            assign(a.other, 1 - val[u]);
-            break;
-          case 2: {
-            // Forced edge: endpoint values are fixed regardless of val[u];
-            // (already seeded above) but re-derive for safety.
-            const int from_v = a.rise ? 0 : 1;
-            assign(a.other, a.forward ? 1 - from_v : from_v);
-            break;
-          }
-        }
-      }
-    }
-
-    for (std::uint32_t st = 0; st < num_states; ++st) {
-      if (val[st] == -1) {
-        // Unreached by propagation: disconnected component (cannot happen for
-        // reachability graphs, which are rooted) — but stay defensive.
-        throw util::SemanticsError("signal value underdetermined for " + stg.signal_name(s));
-      }
-      codes[st].set(s, val[st] == 1);
+      base.set(s, declared.value_or(false));
     }
   }
+  if (!all_coded && first_real != stg::kNoSignal) {
+    // Unreached by the edge sweep: disconnected component (cannot happen for
+    // reachability graphs, which are rooted) — but stay defensive.
+    throw util::SemanticsError("signal value underdetermined for " +
+                               stg.signal_name(first_real));
+  }
+
+  // Dummy signals have only silent labels (enforced by the Stg builder), so
+  // their columns never flip and their base bits stay 0: dummy columns come
+  // out all-zero, exactly as the per-signal scan (which skipped them) left
+  // them.
+  for (std::uint32_t st = 0; st < num_states; ++st) codes[st] ^= base;
   return codes;
 }
-
-}  // namespace
 
 StateGraph StateGraph::from_stg(const stg::Stg& stg, const BuildOptions& opts) {
   petri::ReachabilityOptions ropts;
@@ -238,10 +210,16 @@ StateGraph StateGraph::from_stg(const stg::Stg& stg, const BuildOptions& opts) {
     infos.push_back(SignalInfo{stg.signal_name(s), stg.is_input(s)});
   }
 
-  const auto codes = infer_codes(stg, reach);
+  auto codes = infer_codes(stg, reach);
 
+  const bool has_dummies = infos.size() != stg.num_signals();
   StateGraph g(std::move(infos));
   for (std::uint32_t st = 0; st < reach.markings.size(); ++st) {
+    if (!has_dummies) {
+      // dense[] is the identity: the inferred code is already the state code.
+      g.add_state(std::move(codes[st]));
+      continue;
+    }
     // Re-pack the code to drop dummy columns.
     util::BitVec packed(g.num_signals());
     for (stg::SignalId s = 0; s < stg.num_signals(); ++s) {
@@ -265,7 +243,7 @@ StateGraph StateGraph::from_stg(const stg::Stg& stg, const BuildOptions& opts) {
     g.add_edge(e.from, edge);
   }
 
-  g.check_consistency();
+  if (opts.check_consistency) g.check_consistency();
   return g;
 }
 

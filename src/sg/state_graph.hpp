@@ -16,6 +16,10 @@
 #include "stg/stg.hpp"
 #include "util/bitvec.hpp"
 
+namespace mps::petri {
+struct ReachabilityResult;
+}
+
 namespace mps::sg {
 
 using StateId = std::uint32_t;
@@ -42,13 +46,22 @@ struct BuildOptions {
   std::size_t max_states = 1u << 20;
   /// Require a safe net (every reachable marking 0/1 tokens per place).
   bool require_safe = true;
+  /// Run the full O(V·E) structural self-check on the freshly built graph.
+  /// The default keeps checking; inner-loop callers that rebuild graphs
+  /// repeatedly (baseline re-expansion) may turn it off — construction
+  /// itself guarantees the invariants, the check is defense in depth.
+  bool check_consistency = true;
 };
 
 class StateGraph {
  public:
   StateGraph() = default;
   explicit StateGraph(std::vector<SignalInfo> signals) : signals_(std::move(signals)) {
-    for (SignalId s = 0; s < signals_.size(); ++s) index_signal(s);
+    input_mask_.resize(signals_.size());
+    for (SignalId s = 0; s < signals_.size(); ++s) {
+      index_signal(s);
+      if (signals_[s].is_input) input_mask_.set(s);
+    }
   }
 
   /// Exhaustive reachability + consistent-code inference (§2).  Throws
@@ -63,6 +76,10 @@ class StateGraph {
   const SignalInfo& signal(SignalId s) const { return signals_[s]; }
   const std::vector<SignalInfo>& signals() const { return signals_; }
   bool is_input(SignalId s) const { return signals_[s].is_input; }
+  /// Bit s set iff signal s is an input — maintained incrementally so hot
+  /// loops can mask input signals with one and_not instead of a per-signal
+  /// scan.
+  const util::BitVec& input_mask() const { return input_mask_; }
   SignalId find_signal(std::string_view name) const;
   /// Append a signal column; every existing state code gets `value` for it.
   SignalId add_signal(const SignalInfo& info, bool value = false);
@@ -73,7 +90,10 @@ class StateGraph {
   void set_initial(StateId s) { initial_ = s; }
 
   StateId add_state(util::BitVec code);
-  void add_edge(StateId from, const Edge& e) { out_[from].push_back(e); }
+  void add_edge(StateId from, const Edge& e) {
+    out_[from].push_back(e);
+    ++num_edges_;
+  }
 
   const util::BitVec& code(StateId s) const { return codes_[s]; }
   bool value(StateId s, SignalId sig) const { return codes_[s].test(sig); }
@@ -86,8 +106,9 @@ class StateGraph {
   /// True if `sig` has an outgoing edge at `s` with the given direction.
   bool excited_dir(StateId s, SignalId sig, bool rise) const;
 
-  /// Total edge count (diagnostics / formula-size model).
-  std::size_t num_edges() const;
+  /// Total edge count (diagnostics / formula-size model); maintained by
+  /// add_edge(), not recomputed.
+  std::size_t num_edges() const { return num_edges_; }
   /// Number of (state, unordered transition pair) instances where two
   /// different signals are enabled together — N_ct in the §2.1 size model.
   std::size_t num_concurrent_pairs() const;
@@ -115,13 +136,22 @@ class StateGraph {
   /// name -> lowest SignalId with that name (same answer as a front-to-back
   /// linear scan); maintained by the constructor and add_signal().
   std::unordered_map<std::string, SignalId, NameHash, std::equal_to<>> by_name_;
+  util::BitVec input_mask_;               // bit per signal; see input_mask()
   std::vector<util::BitVec> codes_;       // per state; width == signals_.size()
   std::vector<std::vector<Edge>> out_;    // per state
+  std::size_t num_edges_ = 0;
   StateId initial_ = 0;
 };
 
 /// Group states by identical code.  Returns class representative list:
 /// classes[k] = state ids sharing one code (only classes of size >= 2).
 std::vector<std::vector<StateId>> code_classes(const StateGraph& g);
+
+/// Consistent state assignment inference (§2), exposed for tests and
+/// microbenchmarks: per-state signal values over the reachability graph, in
+/// one pass over its edges.  Throws util::SemanticsError if no consistent
+/// assignment exists.  from_stg() is the normal entry point.
+std::vector<util::BitVec> infer_codes(const stg::Stg& stg,
+                                      const petri::ReachabilityResult& reach);
 
 }  // namespace mps::sg

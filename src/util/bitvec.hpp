@@ -57,6 +57,10 @@ class BitVec {
   /// Number of set bits.
   std::size_t count() const;
 
+  /// Number of positions where *this and other differ (popcount of the XOR),
+  /// computed word-wise with no temporary allocation.  Sizes must match.
+  std::size_t count_diff(const BitVec& other) const;
+
   /// Index of the first set bit, or npos if none.
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
   std::size_t find_first() const;
@@ -82,6 +86,11 @@ class BitVec {
   bool operator!=(const BitVec& other) const { return !(*this == other); }
 
   std::uint64_t hash() const;
+
+  /// Read-only word access (bit i lives in word i/64, bit i%64): lets hot
+  /// loops apply masks word-wise without materializing BitVec temporaries.
+  std::size_t num_words() const { return words_.size(); }
+  std::uint64_t word(std::size_t wi) const { return words_[wi]; }
 
   /// "0101..." rendering, bit 0 first.
   std::string to_string() const;

@@ -317,6 +317,40 @@ TEST(Solver, BranchesFalseFirstEvenWithPositiveMajority) {
   EXPECT_EQ(stats.backtracks, 0);
 }
 
+TEST(Solver, HeapMatchesLinearScanReference) {
+  // The lazy variable-order heap must select, at every decision, the exact
+  // variable the original O(#vars) linear scan selected (DESIGN.md "Hot
+  // paths": both maximize the same strict total order — higher
+  // score+activity first, lower var id on ties).  Identical decision
+  // sequences imply identical search trees, which is what keeps the Table 1
+  // quality columns reproducible.  Mixed SAT/UNSAT instances at density
+  // 4.3 exercise conflicts, activity bumps, restarts and random decisions.
+  mps::util::Rng rng(2024);
+  for (int i = 0; i < 25; ++i) {
+    const int vars = 20 + static_cast<int>(rng.below(21));
+    const Cnf cnf = random_3sat(rng, vars, (vars * 43) / 10);
+    std::vector<Lit> heap_log, linear_log;
+    SolveOptions heap_opts, linear_opts;
+    heap_opts.seed = linear_opts.seed = 7 + i;
+    heap_opts.decision_log = &heap_log;
+    linear_opts.decision_log = &linear_log;
+    linear_opts.reference_linear_branching = true;
+    Model heap_model, linear_model;
+    SolveStats heap_stats, linear_stats;
+    const Outcome heap_out = Solver().solve(cnf, &heap_model, &heap_stats, heap_opts);
+    const Outcome linear_out = Solver().solve(cnf, &linear_model, &linear_stats, linear_opts);
+    ASSERT_EQ(heap_out, linear_out) << "instance " << i;
+    ASSERT_EQ(heap_log.size(), linear_log.size()) << "instance " << i;
+    for (std::size_t d = 0; d < heap_log.size(); ++d) {
+      ASSERT_EQ(heap_log[d].x, linear_log[d].x) << "instance " << i << " decision " << d;
+    }
+    EXPECT_EQ(heap_model, linear_model) << "instance " << i;
+    EXPECT_EQ(heap_stats.decisions, linear_stats.decisions) << "instance " << i;
+    EXPECT_EQ(heap_stats.backtracks, linear_stats.backtracks) << "instance " << i;
+    EXPECT_EQ(heap_stats.propagations, linear_stats.propagations) << "instance " << i;
+  }
+}
+
 TEST(Solver, DeterministicWithFixedSeed) {
   mps::util::Rng rng(7);
   const Cnf cnf = random_3sat(rng, 40, 120);

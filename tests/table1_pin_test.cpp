@@ -1,0 +1,128 @@
+// Pins the Table 1 quality columns (final states, final signals, area in
+// literals, LIMIT outcomes) to the values of the reference run recorded in
+// BENCH_table1.json.  The hot-path optimizations (clause arena, blocker
+// literals, variable-order heap, single-pass code inference, packed CSC
+// signatures — DESIGN.md "Hot paths") are all behavior-preserving by
+// construction; this test is the executable form of that claim, in the
+// spirit of Synthesis.ParallelMatchesSerialOnBenchmarkSuite.
+//
+// The modular method is pinned on all 23 benchmarks.  The direct
+// (Vanbekbergen) and monolithic (Lavagno-style) baselines are pinned on the
+// sub-second rows only: the large rows run minutes into their solver limits
+// and belong to bench/table1, not the unit suite.  Seconds are never
+// asserted — only search-path-determined quantities.
+#include <gtest/gtest.h>
+
+#include "baseline/lavagno.hpp"
+#include "baseline/vanbekbergen.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "core/synthesis.hpp"
+#include "sg/state_graph.hpp"
+
+namespace {
+
+using namespace mps;
+
+struct ModularPin {
+  const char* name;
+  std::size_t init_states, init_signals;
+  std::size_t states, signals, literals;
+};
+
+// Quality columns of `bench/table1 --threads 1` (same values as the
+// committed BENCH_table1.json), in table order.
+constexpr ModularPin kModularPins[] = {
+    {"mr0", 304, 11, 1094, 17, 88},
+    {"mr1", 194, 8, 554, 13, 42},
+    {"mmu0", 180, 8, 554, 13, 35},
+    {"mmu1", 80, 8, 170, 11, 20},
+    {"sbuf-ram-write", 52, 10, 105, 14, 42},
+    {"vbe4a", 58, 6, 157, 10, 56},
+    {"nak-pa", 58, 9, 143, 15, 60},
+    {"pe-rcv-ifc-fc", 35, 8, 85, 13, 52},
+    {"ram-read-sbuf", 38, 10, 87, 14, 38},
+    {"alex-nonfc", 20, 6, 56, 8, 20},
+    {"sbuf-send-pkt2", 22, 6, 64, 10, 29},
+    {"sbuf-send-ctl", 20, 6, 40, 9, 19},
+    {"atod", 20, 6, 38, 8, 13},
+    {"pa", 18, 4, 38, 7, 28},
+    {"alloc-outbound", 18, 7, 28, 9, 21},
+    {"wrdata", 18, 4, 38, 7, 26},
+    {"fifo", 18, 4, 43, 8, 28},
+    {"sbuf-read-ctl", 16, 6, 23, 7, 12},
+    {"nouse", 10, 3, 20, 5, 10},
+    {"vbe-ex2", 8, 2, 12, 3, 7},
+    {"nousc-ser", 8, 3, 10, 4, 12},
+    {"sendr-done", 8, 3, 16, 5, 16},
+    {"vbe-ex1", 4, 2, 6, 3, 7},
+};
+
+TEST(Table1Pin, ModularQualityColumnsArePinned) {
+  for (const ModularPin& pin : kModularPins) {
+    const auto* b = benchmarks::find_benchmark(pin.name);
+    ASSERT_NE(b, nullptr) << pin.name;
+    const auto g = sg::StateGraph::from_stg(b->make());
+    EXPECT_EQ(g.num_states(), pin.init_states) << pin.name;
+    EXPECT_EQ(g.num_signals(), pin.init_signals) << pin.name;
+
+    core::SynthesisOptions opts;
+    opts.num_threads = 1;  // same per-row configuration as bench/table1
+    const auto m = core::modular_synthesis(g, opts);
+    ASSERT_TRUE(m.success) << pin.name;
+    EXPECT_EQ(m.final_states, pin.states) << pin.name;
+    EXPECT_EQ(m.final_signals, pin.signals) << pin.name;
+    EXPECT_EQ(m.total_literals, pin.literals) << pin.name;
+  }
+}
+
+struct BaselinePin {
+  const char* name;
+  // direct (Vanbekbergen): final states/signals/literals
+  std::size_t v_states, v_signals, v_literals;
+  // monolithic (Lavagno-style): final signals/literals
+  std::size_t l_signals, l_literals;
+};
+
+constexpr BaselinePin kBaselinePins[] = {
+    {"mmu1", 156, 11, 29, 11, 23},
+    {"sbuf-ram-write", 96, 13, 69, 13, 86},
+    {"atod", 32, 8, 19, 8, 31},
+    {"pa", 38, 7, 28, 7, 27},
+    {"alloc-outbound", 22, 9, 23, 9, 23},
+    {"wrdata", 38, 7, 26, 7, 31},
+    {"fifo", 31, 7, 25, 8, 66},
+    {"sbuf-read-ctl", 18, 7, 16, 7, 14},
+    {"nouse", 20, 5, 10, 5, 10},
+    {"vbe-ex2", 12, 3, 7, 3, 7},
+    {"nousc-ser", 10, 4, 12, 7, 39},
+    {"sendr-done", 13, 5, 11, 5, 18},
+    {"vbe-ex1", 6, 3, 7, 3, 7},
+};
+
+TEST(Table1Pin, BaselineQualityColumnsArePinnedOnFastRows) {
+  for (const BaselinePin& pin : kBaselinePins) {
+    const auto* b = benchmarks::find_benchmark(pin.name);
+    ASSERT_NE(b, nullptr) << pin.name;
+    const auto g = sg::StateGraph::from_stg(b->make());
+
+    baseline::DirectOptions vopts;  // bench/table1's configuration
+    vopts.solve.max_backtracks = 5000000;
+    vopts.solve.time_limit_s = 60.0;
+    const auto v = baseline::direct_synthesis(g, vopts);
+    ASSERT_TRUE(v.success) << pin.name;
+    EXPECT_EQ(v.final_states, pin.v_states) << pin.name;
+    EXPECT_EQ(v.final_signals, pin.v_signals) << pin.name;
+    EXPECT_EQ(v.total_literals, pin.v_literals) << pin.name;
+
+    baseline::LavagnoOptions lopts;
+    lopts.solve.max_backtracks = 2000000;
+    lopts.solve.time_limit_s = 20.0;
+    lopts.time_limit_s = 300.0;
+    const auto l = baseline::lavagno_synthesis(g, lopts);
+    ASSERT_TRUE(l.success) << pin.name;
+    EXPECT_EQ(l.final_signals, pin.l_signals) << pin.name;
+    EXPECT_EQ(l.total_literals, pin.l_literals) << pin.name;
+  }
+}
+
+}  // namespace
