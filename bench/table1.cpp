@@ -53,9 +53,24 @@ void print_row(const Row& r) {
 struct JsonRow {
   const char* method;  // "modular" | "direct" | "lavagno"
   std::size_t states = 0, signals = 0, literals = 0;
+  std::size_t gates = 0, transistors = 0;  // complex-gate netlist (0 on failure)
   const char* outcome = "ok";  // "ok" | "LIMIT" | "FAIL"
   double seconds = 0.0;
 };
+
+/// Gate and transistor-equivalent counts of the complex-gate netlist for a
+/// successful synthesis result; {0, 0} when the method failed or the
+/// netlist cannot be built.
+template <typename Result>
+std::pair<std::size_t, std::size_t> gate_counts(const Result& r) {
+  if (!r.success) return {0, 0};
+  try {
+    const auto n = netlist::build_netlist(r.final_graph, r.covers);
+    return {n.num_gates(), n.transistor_estimate()};
+  } catch (const util::Error&) {
+    return {0, 0};
+  }
+}
 
 /// Everything one benchmark contributes: its two printed rows plus the raw
 /// numbers the summary needs.  Filled concurrently, consumed in order.
@@ -154,17 +169,24 @@ BenchResult run_benchmark(const benchmarks::Benchmark& b) {
   out.v_secs = v.seconds;
   out.l_secs = l.seconds;
 
+  const auto [m_gates, m_tx] = gate_counts(m);
+  const auto [v_gates, v_tx] = gate_counts(v);
+  const auto [l_gates, l_tx] = gate_counts(l);
   out.json[0] = {"modular", m.final_states, m.final_signals, m.total_literals,
-                 m.success ? "ok" : "FAIL", m.seconds};
+                 m_gates, m_tx, m.success ? "ok" : "FAIL", m.seconds};
   out.json[1] = {"direct", v.final_states, v.final_signals, v.total_literals,
-                 v.success ? "ok" : (v.hit_limit ? "LIMIT" : "FAIL"), v.seconds};
+                 v_gates, v_tx, v.success ? "ok" : (v.hit_limit ? "LIMIT" : "FAIL"),
+                 v.seconds};
   out.json[2] = {"lavagno", l.final_states, l.final_signals, l.total_literals,
-                 l.success ? "ok" : (l.hit_limit ? "LIMIT" : "FAIL"), l.seconds};
+                 l_gates, l_tx, l.success ? "ok" : (l.hit_limit ? "LIMIT" : "FAIL"),
+                 l.seconds};
   return out;
 }
 
 /// Machine-readable report for the perf-regression harness: one record per
 /// (benchmark, method) with the quality columns and wall time, plus totals.
+/// schema_version 2 added the per-row complex-gate netlist columns
+/// ("gates", "transistors"); all version-1 fields are unchanged.
 /// Compare two runs with a plain diff or jq query; the quality fields must
 /// never drift between commits, the seconds may.  BENCH_table1.json in the
 /// repository root is the committed reference run (`--threads 1`).
@@ -176,17 +198,20 @@ void write_json(const char* path, const std::vector<benchmarks::Benchmark>& benc
     std::fprintf(stderr, "cannot open %s for writing\n", path);
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"benchmark\": \"table1\",\n  \"threads\": %u,\n  \"rows\": [\n",
+  std::fprintf(f,
+               "{\n  \"benchmark\": \"table1\",\n  \"schema_version\": 2,\n"
+               "  \"threads\": %u,\n  \"rows\": [\n",
                threads);
   for (std::size_t i = 0; i < results.size(); ++i) {
     for (std::size_t j = 0; j < 3; ++j) {
       const JsonRow& r = results[i].json[j];
       std::fprintf(f,
                    "    {\"bench\": \"%s\", \"method\": \"%s\", \"states\": %zu, "
-                   "\"signals\": %zu, \"literals\": %zu, \"outcome\": \"%s\", "
+                   "\"signals\": %zu, \"literals\": %zu, \"gates\": %zu, "
+                   "\"transistors\": %zu, \"outcome\": \"%s\", "
                    "\"seconds\": %.3f}%s\n",
                    benches[i].name.c_str(), r.method, r.states, r.signals, r.literals,
-                   r.outcome,
+                   r.gates, r.transistors, r.outcome,
                    r.seconds, (i + 1 == results.size() && j == 2) ? "" : ",");
     }
   }

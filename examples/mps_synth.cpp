@@ -3,12 +3,20 @@
 //
 //   mps_synth <spec.g> [options]
 //     --method modular|direct|lavagno   (default modular)
-//     --out-g <file>      write the CSC-satisfying STG state graph as .g-like dump
-//     --out-pla <prefix>  write one PLA per non-input signal to <prefix><name>.pla
-//     --dimacs <file>     export the direct CSC SAT instance
-//     --quiet             only the summary line
+//     --out-pla <prefix>   write one PLA per non-input signal to <prefix><name>.pla
+//     --out-verilog <file> write the gate-level netlist as structural Verilog
+//     --check-circuit      verbose gate-level report: gate/transistor counts and
+//                          the speed-independence verifier's verdict (with a
+//                          counterexample trace on failure)
+//     --dimacs <file>      export the direct CSC SAT instance
+//     --quiet              only the summary line
 //
 // With no arguments it synthesizes a built-in demo specification.
+//
+// Error contract (tested by ctest): every misuse — unreadable file, .g
+// parse error, unknown --method/--bench/flag — prints one clear
+// diagnostic to stderr and exits nonzero (2 for usage errors, 1 for
+// input/verification failures).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -21,15 +29,17 @@ namespace {
 using namespace mps;
 
 int usage() {
-  std::printf(
-      "usage: mps_synth <spec.g> [--method modular|direct|lavagno]\n"
-      "                 [--out-pla <prefix>] [--dimacs <file>] [--quiet]\n"
-      "       mps_synth --bench <name>   (use a built-in Table-1 benchmark)\n");
+  std::fprintf(stderr,
+               "usage: mps_synth <spec.g> [--method modular|direct|lavagno]\n"
+               "                 [--out-pla <prefix>] [--out-verilog <file>]\n"
+               "                 [--check-circuit] [--dimacs <file>] [--quiet]\n"
+               "       mps_synth --bench <name>   (use a built-in Table-1 benchmark)\n");
   return 2;
 }
 
 void write_file(const std::string& path, const std::string& text) {
   std::ofstream out(path);
+  if (!out) throw util::Error("cannot open " + path + " for writing");
   out << text;
   std::printf("wrote %s\n", path.c_str());
 }
@@ -41,7 +51,9 @@ int main(int argc, char** argv) {
   std::string bench_name;
   std::string method = "modular";
   std::string pla_prefix;
+  std::string verilog_path;
   std::string dimacs_path;
+  bool check_circuit = false;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -59,6 +71,12 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       pla_prefix = v;
+    } else if (arg == "--out-verilog") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      verilog_path = v;
+    } else if (arg == "--check-circuit") {
+      check_circuit = true;
     } else if (arg == "--dimacs") {
       const char* v = next();
       if (v == nullptr) return usage();
@@ -66,10 +84,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag: %s\n", arg.c_str());
       return usage();
     } else {
       spec_path = arg;
     }
+  }
+  if (method != "modular" && method != "direct" && method != "lavagno") {
+    std::fprintf(stderr, "error: unknown --method: %s (expected modular|direct|lavagno)\n",
+                 method.c_str());
+    return 2;
   }
 
   try {
@@ -123,7 +147,7 @@ int main(int argc, char** argv) {
       covers = std::move(r.covers);
       literals = r.total_literals;
       seconds = r.seconds;
-    } else if (method == "lavagno") {
+    } else {
       baseline::LavagnoOptions opts;
       opts.time_limit_s = 300.0;
       auto r = baseline::lavagno_synthesis(g, opts);
@@ -133,12 +157,10 @@ int main(int argc, char** argv) {
       covers = std::move(r.covers);
       literals = r.total_literals;
       seconds = r.seconds;
-    } else {
-      return usage();
     }
 
     if (!ok) {
-      std::printf("FAILED: %s\n", failure.c_str());
+      std::fprintf(stderr, "error: synthesis failed: %s\n", failure.c_str());
       return 1;
     }
     const auto report = verify::verify_synthesis(final_graph, covers);
@@ -151,6 +173,28 @@ int main(int argc, char** argv) {
       for (const auto& issue : report.issues) std::printf("  issue: %s\n", issue.c_str());
     }
 
+    const netlist::Netlist circuit = netlist::build_netlist(final_graph, covers);
+    if (check_circuit) {
+      const auto si = netlist::verify_speed_independence(circuit, final_graph);
+      std::printf("circuit: %zu gates, %zu literals, ~%zu transistors; "
+                  "speed-independence %s (%zu composed states)\n",
+                  circuit.num_gates(), circuit.total_literals(),
+                  circuit.transistor_estimate(), si.ok() ? "passed" : "FAILED",
+                  si.states_explored);
+      if (!si.ok()) {
+        for (const auto& issue : si.issues) std::printf("  issue: %s\n", issue.c_str());
+        if (!si.trace.empty()) {
+          std::string trace;
+          for (const auto& step : si.trace) {
+            if (!trace.empty()) trace += " ";
+            trace += step;
+          }
+          std::printf("  counterexample: %s\n", trace.c_str());
+        }
+        return 1;
+      }
+    }
+
     if (!pla_prefix.empty()) {
       std::vector<std::string> names;
       for (sg::SignalId s = 0; s < final_graph.num_signals(); ++s) {
@@ -160,13 +204,16 @@ int main(int argc, char** argv) {
         write_file(pla_prefix + name + ".pla", logic::write_pla(cover, names));
       }
     }
+    if (!verilog_path.empty()) {
+      write_file(verilog_path, netlist::write_verilog(circuit));
+    }
     if (!dimacs_path.empty()) {
       const auto enc = encoding::encode_csc(g, 1);
       write_file(dimacs_path, sat::write_dimacs(enc.cnf(), "CSC of " + spec.name()));
     }
     return report.ok() ? 0 : 1;
   } catch (const std::exception& e) {
-    std::printf("error: %s\n", e.what());
+    std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
 }

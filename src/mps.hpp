@@ -23,6 +23,10 @@
 #include "logic/extract.hpp"
 #include "logic/minimize.hpp"
 #include "logic/pla.hpp"
+#include "netlist/build.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/verilog.hpp"
+#include "netlist/verify_si.hpp"
 #include "petri/analysis.hpp"
 #include "petri/net.hpp"
 #include "sat/cnf.hpp"

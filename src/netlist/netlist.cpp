@@ -1,0 +1,103 @@
+#include "netlist/netlist.hpp"
+
+#include <unordered_set>
+
+#include "util/common.hpp"
+
+namespace mps::netlist {
+
+WireId Netlist::find_wire(std::string_view name) const {
+  for (WireId w = 0; w < wires_.size(); ++w) {
+    if (wires_[w].name == name) return w;
+  }
+  return kNoWire;
+}
+
+WireId Netlist::add_wire(Wire w) {
+  wires_.push_back(std::move(w));
+  driver_.push_back(npos);
+  return static_cast<WireId>(wires_.size() - 1);
+}
+
+void Netlist::add_gate(Gate g) {
+  MPS_ASSERT(g.out < wires_.size());
+  MPS_ASSERT(driver_[g.out] == npos);
+  driver_[g.out] = gates_.size();
+  gates_.push_back(std::move(g));
+}
+
+std::size_t Netlist::total_literals() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_) n += g.literal_count();
+  return n;
+}
+
+std::size_t Netlist::transistor_estimate() const {
+  std::size_t t = 0;
+  std::unordered_set<WireId> complemented;
+  for (const Gate& g : gates_) {
+    if (g.kind == GateKind::kC) {
+      t += 12;
+      continue;
+    }
+    const std::size_t lits = g.fn.literal_count();
+    bool pure_inverter = false;
+    if (g.fn.size() == 1 && lits == 1) {
+      for (std::size_t v = 0; v < g.fn.num_vars(); ++v) {
+        if (g.fn[0].has_literal(v)) {
+          pure_inverter = g.fn[0].literal(v) == false;
+          break;
+        }
+      }
+    }
+    t += 2 * lits + (pure_inverter || lits == 0 ? 0 : 2);
+    for (const logic::Cube& c : g.fn.cubes()) {
+      for (std::size_t v = 0; v < g.fn.num_vars(); ++v) {
+        if (c.literal(v) == false) complemented.insert(g.fanins[v]);
+      }
+    }
+  }
+  return t + 2 * complemented.size();
+}
+
+void Netlist::check() const {
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    if (g.out >= wires_.size()) throw util::SemanticsError("gate output wire out of range");
+    if (driver_[g.out] != i) throw util::SemanticsError("wire driven by more than one gate");
+    for (WireId f : g.fanins) {
+      if (f >= wires_.size()) throw util::SemanticsError("gate fanin wire out of range");
+    }
+    if (g.kind == GateKind::kC) {
+      if (g.fanins.size() != 2) {
+        throw util::SemanticsError("C element must have exactly {set, reset} fanins");
+      }
+    } else if (g.fn.num_vars() != g.fanins.size()) {
+      throw util::SemanticsError("SOP variable count does not match fanin count of gate " +
+                                 wires_[g.out].name);
+    }
+  }
+  for (WireId w = 0; w < wires_.size(); ++w) {
+    const bool driven = driver_[w] != npos;
+    if (wires_[w].role == WireRole::kInput && driven) {
+      throw util::SemanticsError("primary input " + wires_[w].name + " is gate-driven");
+    }
+    if (wires_[w].role != WireRole::kInput && !driven) {
+      throw util::SemanticsError("wire " + wires_[w].name + " has no driver");
+    }
+  }
+}
+
+std::string sanitize_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '$';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(out.begin(), '_');
+  return out;
+}
+
+}  // namespace mps::netlist

@@ -1,0 +1,116 @@
+// Gate-level netlist IR: the circuit the synthesis flow promises but the
+// rest of the library only implies.  Two gate families cover the classical
+// speed-independent implementation styles:
+//
+//   * kSop  — a combinational *complex gate*: one atomic AND/OR/INV
+//     sum-of-products with a single output delay (the petrify/SIS
+//     "complex gate" solution; feedback from the gate's own output is a
+//     legal fanin and is how next-state functions become sequential),
+//   * kC    — a state-holding standard-C latch: fanins {set, reset},
+//     out' = 1 when only set is active, 0 when only reset is, hold
+//     otherwise (both at once is a normal transient under unbounded
+//     delays — the stale phase's network is still draining — and holds).
+//
+// Wires carry a role (primary input / output / internal node) and a name;
+// the verifier (verify_si.hpp) binds spec signals to wires *by name*.
+// The IR is deliberately flat: no hierarchy, no vectors, every gate
+// drives exactly one wire.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "logic/cover.hpp"
+
+namespace mps::netlist {
+
+using WireId = std::uint32_t;
+inline constexpr WireId kNoWire = 0xFFFFFFFFu;
+
+enum class WireRole : std::uint8_t {
+  kInput,     ///< primary input, driven by the environment
+  kOutput,    ///< primary output (or observable internal spec signal)
+  kInternal,  ///< internal node (set/reset network output etc.)
+};
+
+struct Wire {
+  std::string name;
+  WireRole role = WireRole::kInternal;
+};
+
+enum class GateKind : std::uint8_t { kSop, kC };
+
+struct Gate {
+  GateKind kind = GateKind::kSop;
+  WireId out = kNoWire;
+  /// Fanin wires; for kSop these are the cover's variables in order, for
+  /// kC exactly {set, reset}.
+  std::vector<WireId> fanins;
+  /// kSop only: single-output SOP over fanins.size() variables.  An empty
+  /// cover is constant 0; a single universal cube is constant 1.
+  logic::Cover fn;
+
+  /// Literals of the SOP (0 for kC).
+  std::size_t literal_count() const { return kind == GateKind::kSop ? fn.literal_count() : 0; }
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // --- wires ------------------------------------------------------------
+  std::size_t num_wires() const { return wires_.size(); }
+  const Wire& wire(WireId w) const { return wires_[w]; }
+  const std::vector<Wire>& wires() const { return wires_; }
+  /// Lowest WireId with this name, or kNoWire.
+  WireId find_wire(std::string_view name) const;
+  WireId add_wire(Wire w);
+
+  // --- gates ------------------------------------------------------------
+  std::size_t num_gates() const { return gates_.size(); }
+  const Gate& gate(std::size_t i) const { return gates_[i]; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  void add_gate(Gate g);
+  /// Index of the gate driving `w`, or npos if undriven (primary input).
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t driver(WireId w) const { return driver_[w]; }
+
+  // --- metrics ----------------------------------------------------------
+  /// Total SOP literals over all gates (matches the paper's literal metric
+  /// when every gate is a complex gate).
+  std::size_t total_literals() const;
+  /// Static-CMOS transistor-equivalent estimate, the netlist-level figure
+  /// Table 1's "area" column abstracts:
+  ///   * kSop gate: 2 transistors per literal (series/parallel AOI
+  ///     network) plus 2 for the output inverter — except a pure inverter
+  ///     (one cube, one negative literal), which *is* the output inverter: 2;
+  ///   * kC latch: 12 (4-transistor set/reset stacks plus a 4T keeper and
+  ///     staticizing inverter);
+  ///   * plus 2 per distinct wire some SOP gate uses complemented (the
+  ///     shared input inverter that polarity needs in static CMOS).
+  std::size_t transistor_estimate() const;
+
+  /// Structural validation: fanins/outputs in range, at most one driver
+  /// per wire, every non-input wire driven, kC arity, SOP variable counts.
+  /// Throws util::SemanticsError on violation.
+  void check() const;
+
+ private:
+  std::string name_;
+  std::vector<Wire> wires_;
+  std::vector<Gate> gates_;
+  std::vector<std::size_t> driver_;  // wire -> gate index or npos
+};
+
+/// Make `name` a legal Verilog identifier (replace foreign characters by
+/// '_', prefix '_' if it starts with a digit).  Builder and verifier both
+/// apply this, so spec-signal lookup by name stays consistent.
+std::string sanitize_name(std::string_view name);
+
+}  // namespace mps::netlist

@@ -1,0 +1,344 @@
+#include "netlist/verilog.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace mps::netlist {
+
+namespace {
+
+std::string render_sop(const Netlist& n, const Gate& g) {
+  if (g.fn.empty()) return "1'b0";
+  std::vector<std::string> cubes;
+  for (const logic::Cube& c : g.fn.cubes()) {
+    std::vector<std::string> lits;
+    for (std::size_t v = 0; v < g.fn.num_vars(); ++v) {
+      if (const auto lit = c.literal(v)) {
+        lits.push_back((*lit ? "" : "~") + n.wire(g.fanins[v]).name);
+      }
+    }
+    if (lits.empty()) {
+      cubes.push_back("1'b1");
+      continue;
+    }
+    std::string term;
+    for (std::size_t i = 0; i < lits.size(); ++i) {
+      if (i > 0) term += " & ";
+      term += lits[i];
+    }
+    if (g.fn.size() > 1 && lits.size() > 1) term = "(" + term + ")";
+    cubes.push_back(std::move(term));
+  }
+  std::string out;
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += cubes[i];
+  }
+  return out;
+}
+
+// --- tokenizer ---------------------------------------------------------
+
+struct Lexer {
+  std::string_view text;
+  std::size_t pos = 0;
+  int line = 1;
+
+  void skip_space() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '\n') {
+        ++line;
+        ++pos;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos;
+      } else if (c == '/' && pos + 1 < text.size() && text[pos + 1] == '/') {
+        while (pos < text.size() && text[pos] != '\n') ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  /// Next token: identifier, "1'b0"/"1'b1", or single punctuation char.
+  /// Empty string at end of input.
+  std::string next() {
+    skip_space();
+    if (pos >= text.size()) return "";
+    const char c = text[pos];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      std::size_t start = pos;
+      while (pos < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[pos])) || text[pos] == '_' ||
+              text[pos] == '$')) {
+        ++pos;
+      }
+      return std::string(text.substr(start, pos - start));
+    }
+    if (c == '1' && pos + 3 < text.size() && text[pos + 1] == '\'' && text[pos + 2] == 'b') {
+      const std::string tok(text.substr(pos, 4));
+      pos += 4;
+      return tok;
+    }
+    ++pos;
+    return std::string(1, c);
+  }
+
+  std::string peek() {
+    const std::size_t save_pos = pos;
+    const int save_line = line;
+    std::string tok = next();
+    pos = save_pos;
+    line = save_line;
+    return tok;
+  }
+
+  [[noreturn]] void fail(const std::string& what) { throw util::ParseError(what, line); }
+
+  void expect(const std::string& tok) {
+    const std::string got = next();
+    if (got != tok) fail("expected '" + tok + "', got '" + got + "'");
+  }
+};
+
+bool is_identifier(const std::string& tok) {
+  if (tok.empty()) return false;
+  const char c = tok[0];
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+/// One parsed literal of an assign right-hand side.
+struct PLit {
+  std::string name;
+  bool positive = true;
+};
+
+}  // namespace
+
+std::string write_verilog(const Netlist& n) {
+  std::ostringstream out;
+  out << "// speed-independent gate-level netlist written by mps\n";
+  out << "// MPS_C(set, reset, out) is a standard-C latch: out <= set ? 1 : reset ? 0 : "
+         "out\n";
+  out << "module " << n.name() << " (";
+  bool first = true;
+  for (WireRole role : {WireRole::kInput, WireRole::kOutput}) {
+    for (const Wire& w : n.wires()) {
+      if (w.role != role) continue;
+      if (!first) out << ", ";
+      out << w.name;
+      first = false;
+    }
+  }
+  out << ");\n";
+  for (const Wire& w : n.wires()) {
+    if (w.role == WireRole::kInput) out << "  input " << w.name << ";\n";
+  }
+  for (const Wire& w : n.wires()) {
+    if (w.role == WireRole::kOutput) out << "  output " << w.name << ";\n";
+  }
+  for (const Wire& w : n.wires()) {
+    if (w.role == WireRole::kInternal) out << "  wire " << w.name << ";\n";
+  }
+  out << "\n";
+  for (std::size_t i = 0; i < n.num_gates(); ++i) {
+    const Gate& g = n.gate(i);
+    if (g.kind == GateKind::kSop) {
+      out << "  assign " << n.wire(g.out).name << " = " << render_sop(n, g) << ";\n";
+    } else {
+      out << "  MPS_C u" << i << " (.set(" << n.wire(g.fanins[0]).name << "), .reset("
+          << n.wire(g.fanins[1]).name << "), .out(" << n.wire(g.out).name << "));\n";
+    }
+  }
+  out << "endmodule\n";
+  return out.str();
+}
+
+Netlist parse_verilog(std::string_view text) {
+  Lexer lex{text};
+
+  lex.expect("module");
+  const std::string module_name = lex.next();
+  if (!is_identifier(module_name)) lex.fail("bad module name '" + module_name + "'");
+  Netlist n(module_name);
+
+  lex.expect("(");
+  std::vector<std::string> ports;
+  for (std::string tok = lex.next(); tok != ")"; tok = lex.next()) {
+    if (tok == ",") continue;
+    if (!is_identifier(tok)) lex.fail("bad port '" + tok + "'");
+    ports.push_back(tok);
+  }
+  lex.expect(";");
+
+  // Declarations (input/output/wire), one name per statement — the
+  // writer's canonical shape.
+  for (;;) {
+    const std::string kw = lex.peek();
+    WireRole role;
+    if (kw == "input") role = WireRole::kInput;
+    else if (kw == "output") role = WireRole::kOutput;
+    else if (kw == "wire") role = WireRole::kInternal;
+    else break;
+    lex.next();
+    const std::string name = lex.next();
+    if (!is_identifier(name)) lex.fail("bad wire name '" + name + "'");
+    if (n.find_wire(name) != kNoWire) lex.fail("wire '" + name + "' declared twice");
+    n.add_wire({name, role});
+    lex.expect(";");
+  }
+  for (const std::string& p : ports) {
+    const WireId w = n.find_wire(p);
+    if (w == kNoWire || n.wire(w).role == WireRole::kInternal) {
+      throw util::SemanticsError("port " + p + " is not declared input or output");
+    }
+  }
+
+  auto wire_of = [&](const std::string& name) -> WireId {
+    const WireId w = n.find_wire(name);
+    if (w == kNoWire) throw util::SemanticsError("undeclared wire: " + name);
+    return w;
+  };
+
+  // Gate statements until endmodule.
+  for (;;) {
+    const std::string kw = lex.next();
+    if (kw == "endmodule") break;
+    if (kw == "assign") {
+      const std::string out_name = lex.next();
+      if (!is_identifier(out_name)) lex.fail("bad assign target '" + out_name + "'");
+      lex.expect("=");
+      // SOP: cube ('|' cube)*; cube := '(' lits ')' | lits; constants
+      // stand alone.
+      std::vector<std::vector<PLit>> cubes;
+      bool const_zero = false, const_one = false;
+      for (;;) {
+        std::string tok = lex.next();
+        if (tok == "1'b0") {
+          const_zero = true;
+        } else if (tok == "1'b1") {
+          const_one = true;
+        } else {
+          const bool parens = tok == "(";
+          if (parens) tok = lex.next();
+          std::vector<PLit> cube;
+          for (;;) {
+            PLit lit;
+            if (tok == "~") {
+              lit.positive = false;
+              tok = lex.next();
+            }
+            if (!is_identifier(tok)) lex.fail("bad literal '" + tok + "'");
+            lit.name = tok;
+            cube.push_back(std::move(lit));
+            tok = lex.next();
+            if (tok == "&") {
+              tok = lex.next();
+              continue;
+            }
+            if (parens && tok == ")") break;
+            if (!parens) {
+              // Lookahead consumed the terminator; handle below.
+              break;
+            }
+            lex.fail("expected '&' or ')', got '" + tok + "'");
+          }
+          cubes.push_back(std::move(cube));
+          if (!parens) {
+            // `tok` holds the terminator (| or ;) already.
+            if (tok == "|") continue;
+            if (tok == ";") break;
+            lex.fail("expected '|' or ';', got '" + tok + "'");
+          }
+        }
+        const std::string sep = lex.next();
+        if (sep == "|") continue;
+        if (sep == ";") break;
+        lex.fail("expected '|' or ';', got '" + sep + "'");
+      }
+      if ((const_zero || const_one) && !cubes.empty()) {
+        lex.fail("constants cannot be mixed with cubes");
+      }
+
+      Gate g;
+      g.kind = GateKind::kSop;
+      g.out = wire_of(out_name);
+      if (const_zero) {
+        g.fn = logic::Cover(0);
+      } else if (const_one) {
+        logic::Cover fn(0);
+        fn.add(logic::Cube(static_cast<std::size_t>(0)));
+        g.fn = std::move(fn);
+      } else {
+        // Canonical fanin order: ascending wire name (what the writer and
+        // build_netlist emit), so the round trip is a fixed point.
+        std::vector<std::string> names;
+        for (const auto& cube : cubes) {
+          for (const PLit& lit : cube) {
+            if (std::find(names.begin(), names.end(), lit.name) == names.end()) {
+              names.push_back(lit.name);
+            }
+          }
+        }
+        std::sort(names.begin(), names.end());
+        logic::Cover fn(names.size());
+        for (const auto& cube : cubes) {
+          logic::Cube c(names.size());
+          for (const PLit& lit : cube) {
+            const std::size_t v =
+                std::find(names.begin(), names.end(), lit.name) - names.begin();
+            if (c.has_literal(v) && c.literal(v) != lit.positive) {
+              lex.fail("contradictory literals on '" + lit.name + "' in one cube");
+            }
+            c.set_literal(v, lit.positive);
+          }
+          fn.add(c);
+        }
+        for (const std::string& name : names) g.fanins.push_back(wire_of(name));
+        g.fn = std::move(fn);
+      }
+      n.add_gate(std::move(g));
+    } else if (kw == "MPS_C") {
+      const std::string inst = lex.next();
+      if (!is_identifier(inst)) lex.fail("bad instance name '" + inst + "'");
+      lex.expect("(");
+      std::string set_name, reset_name, out_name;
+      for (int k = 0; k < 3; ++k) {
+        lex.expect(".");
+        const std::string port = lex.next();
+        lex.expect("(");
+        const std::string name = lex.next();
+        if (!is_identifier(name)) lex.fail("bad connection '" + name + "'");
+        lex.expect(")");
+        if (port == "set") set_name = name;
+        else if (port == "reset") reset_name = name;
+        else if (port == "out") out_name = name;
+        else lex.fail("unknown MPS_C port '." + port + "'");
+        if (k < 2) lex.expect(",");
+      }
+      lex.expect(")");
+      lex.expect(";");
+      if (set_name.empty() || reset_name.empty() || out_name.empty()) {
+        lex.fail("MPS_C instance must connect .set, .reset and .out");
+      }
+      Gate g;
+      g.kind = GateKind::kC;
+      g.out = wire_of(out_name);
+      g.fanins = {wire_of(set_name), wire_of(reset_name)};
+      n.add_gate(std::move(g));
+    } else if (kw.empty()) {
+      lex.fail("unexpected end of input (missing endmodule)");
+    } else {
+      lex.fail("unexpected token '" + kw + "'");
+    }
+  }
+
+  n.check();
+  return n;
+}
+
+}  // namespace mps::netlist

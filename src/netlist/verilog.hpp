@@ -1,0 +1,26 @@
+// Structural Verilog interchange.  The writer emits a canonical subset —
+// grouped input/output/wire declarations, `assign` SOP per combinational
+// gate, an `MPS_C` primitive instance per C latch — and the reader parses
+// exactly that subset (plus whitespace/comment freedom), so
+// write_verilog(parse_verilog(write_verilog(n))) == write_verilog(n)
+// byte for byte.  parse_verilog(write_verilog(n)) reproduces n up to wire
+// ordering (the writer groups declarations by role; gate order, names,
+// functions and roles are preserved exactly).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace mps::netlist {
+
+/// Render `n` as structural Verilog.
+std::string write_verilog(const Netlist& n);
+
+/// Parse the write_verilog() subset.  Throws util::ParseError on syntax
+/// errors, util::SemanticsError on structural ones (undeclared wires,
+/// doubly driven wires).
+Netlist parse_verilog(std::string_view text);
+
+}  // namespace mps::netlist

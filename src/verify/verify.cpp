@@ -6,6 +6,8 @@
 #include "bdd/csc_bdd.hpp"
 #include "logic/extract.hpp"
 #include "logic/minimize.hpp"
+#include "netlist/build.hpp"
+#include "netlist/verify_si.hpp"
 #include "sg/csc.hpp"
 #include "sg/expand.hpp"
 #include "util/text.hpp"
@@ -60,12 +62,14 @@ Report verify_synthesis(const sg::StateGraph& g,
   if (covers.empty()) {
     report.covers_valid = true;
     report.covers_exact = true;
+    report.circuit_ok = true;
     return report;
   }
   if (!report.csc_satisfied) {
     // Specs are not well defined under CSC conflicts; report and stop.
     report.covers_valid = false;
     report.covers_exact = false;
+    report.circuit_ok = false;
     return report;
   }
 
@@ -92,6 +96,18 @@ Report verify_synthesis(const sg::StateGraph& g,
       report.issues.push_back("BDD mismatch for cover of " + g.signal(s).name);
       report.covers_exact = false;
     }
+  }
+
+  // Gate level: materialize the complex-gate netlist and check it under
+  // the unbounded-delay model against the graph it was read off.
+  try {
+    const netlist::Netlist circuit = netlist::build_netlist(g, covers);
+    const netlist::SiResult si = netlist::verify_speed_independence(circuit, g);
+    report.circuit_ok = si.ok();
+    for (const auto& issue : si.issues) report.issues.push_back("circuit: " + issue);
+  } catch (const util::Error& e) {
+    report.circuit_ok = false;
+    report.issues.push_back(std::string("circuit: ") + e.what());
   }
   return report;
 }

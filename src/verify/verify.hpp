@@ -20,10 +20,16 @@ struct Report {
   bool semi_modular = false;      ///< no non-input transition ever disabled
   bool covers_valid = false;      ///< covers hit all ON / avoid all OFF minterms
   bool covers_exact = false;      ///< BDD check: ON ⊆ cover ⊆ ¬OFF
+  /// Gate level: the complex-gate netlist built from the covers conforms
+  /// to the graph and is hazard-free under unbounded gate delays
+  /// (netlist::verify_speed_independence).  True when the cover checks are
+  /// skipped (empty `covers`).
+  bool circuit_ok = false;
   std::vector<std::string> issues;
 
   bool ok() const {
-    return codes_consistent && csc_satisfied && semi_modular && covers_valid && covers_exact;
+    return codes_consistent && csc_satisfied && semi_modular && covers_valid &&
+           covers_exact && circuit_ok;
   }
 };
 

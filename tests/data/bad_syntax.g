@@ -1,0 +1,11 @@
+.model broken
+.inputs r
+.outputs a
+.graph
+r+ a+
+a+ r-
+r- a-
+a- r+
+this line is not an arc nor a directive !!!
+.marking { <a-,r+> }
+.end

@@ -12,6 +12,8 @@
 #include "sg/expand.hpp"
 #include "sg/projection.hpp"
 #include "sg/state_graph.hpp"
+#include "stg/parser.hpp"
+#include "stg/writer.hpp"
 #include "verify/verify.hpp"
 
 namespace {
@@ -60,6 +62,38 @@ TEST_P(RandomStgProperty, ProjectionCommutesWithCodes) {
     }
   }
   EXPECT_LE(quotient_edges, kept_originals);
+}
+
+TEST_P(RandomStgProperty, GWriterRoundTripsToIdentity) {
+  // parse_g(write_g(stg)) is the identity on the STG itself: same
+  // signals (name, kind, order), same net size, and the same unrolled
+  // state graph state-for-state.  (The .g *text* is only stable up to
+  // arc-line order — the writer emits transition-creation order, the
+  // parser re-creates in first-appearance order — so byte equality is
+  // not part of the contract; the structure is.)
+  util::Rng rng(GetParam());
+  benchmarks::RandomStgOptions opts;
+  opts.num_signals = 6;
+  const stg::Stg original = benchmarks::random_stg(rng, opts);
+  const stg::Stg reparsed = stg::parse_g(stg::write_g(original));
+  ASSERT_EQ(reparsed.num_signals(), original.num_signals());
+  for (stg::SignalId s = 0; s < original.num_signals(); ++s) {
+    EXPECT_EQ(reparsed.signal_name(s), original.signal_name(s));
+    EXPECT_EQ(reparsed.signal_kind(s), original.signal_kind(s));
+  }
+  EXPECT_EQ(reparsed.net().num_transitions(), original.net().num_transitions());
+  const auto g1 = sg::StateGraph::from_stg(original);
+  const auto g2 = sg::StateGraph::from_stg(reparsed);
+  ASSERT_EQ(g1.num_states(), g2.num_states());
+  ASSERT_EQ(g1.num_edges(), g2.num_edges());
+  ASSERT_EQ(g1.num_signals(), g2.num_signals());
+  for (sg::StateId s = 0; s < g1.num_states(); ++s) {
+    EXPECT_EQ(g1.code(s), g2.code(s));
+    ASSERT_EQ(g1.out(s).size(), g2.out(s).size());
+    for (std::size_t i = 0; i < g1.out(s).size(); ++i) {
+      EXPECT_EQ(g1.out(s)[i], g2.out(s)[i]);
+    }
+  }
 }
 
 TEST_P(RandomStgProperty, CscConflictsAreSymmetricInvariants) {

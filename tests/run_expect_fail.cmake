@@ -1,0 +1,16 @@
+# Run ${CMD} ${ARGS} (ARGS is ;-separated) and assert that it (a) exits
+# nonzero and (b) prints a diagnostic matching ${PATTERN} on stderr.
+# ctest's WILL_FAIL checks only the exit code and PASS_REGULAR_EXPRESSION
+# overrides it, so error-path tests need both checks scripted.
+execute_process(
+  COMMAND ${CMD} ${ARGS}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "${CMD} ${ARGS}: expected a nonzero exit code, got 0")
+endif()
+if(NOT err MATCHES "${PATTERN}")
+  message(FATAL_ERROR "${CMD} ${ARGS}: stderr does not match '${PATTERN}'.\n"
+                      "stderr: ${err}\nstdout: ${out}")
+endif()

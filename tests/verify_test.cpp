@@ -98,6 +98,75 @@ TEST(ExpansionSimulates, DetectsMissingBehaviour) {
   EXPECT_FALSE(verify::expansion_simulates(g, broken, ex.origin));
 }
 
+TEST(ExpansionSimulates, DetectsSingleDroppedOriginalEdge) {
+  // Drop exactly one non-silent original-signal edge: the expansion no
+  // longer simulates the original behaviour.
+  const auto g = sg::StateGraph::from_stg(handshake_stg());
+  sg::Assignments assigns(g.num_states());
+  assigns.add_signal("n", {V4::Zero, V4::Up, V4::One, V4::Down});
+  const auto ex = sg::expand(g, assigns);
+  bool dropped = false;
+  sg::StateGraph broken(std::vector<sg::SignalInfo>(ex.graph.signals()));
+  for (sg::StateId s = 0; s < ex.graph.num_states(); ++s) {
+    broken.add_state(ex.graph.code(s));
+  }
+  for (sg::StateId s = 0; s < ex.graph.num_states(); ++s) {
+    for (const auto& e : ex.graph.out(s)) {
+      if (!dropped && !e.is_silent() && e.sig < g.num_signals()) {
+        dropped = true;
+        continue;
+      }
+      broken.add_edge(s, e);
+    }
+  }
+  ASSERT_TRUE(dropped);
+  EXPECT_FALSE(verify::expansion_simulates(g, broken, ex.origin));
+}
+
+TEST(ExpansionSimulates, DetectsExtraNonInsertedEdge) {
+  // Splice in an original-signal edge the original graph never had (a
+  // spurious a- from the initial state): extra non-inserted behaviour
+  // must be rejected, not just missing behaviour.
+  const auto g = sg::StateGraph::from_stg(handshake_stg());
+  sg::Assignments assigns(g.num_states());
+  assigns.add_signal("n", {V4::Zero, V4::Up, V4::One, V4::Down});
+  const auto ex = sg::expand(g, assigns);
+  sg::StateGraph broken(std::vector<sg::SignalInfo>(ex.graph.signals()));
+  for (sg::StateId s = 0; s < ex.graph.num_states(); ++s) {
+    broken.add_state(ex.graph.code(s));
+  }
+  for (sg::StateId s = 0; s < ex.graph.num_states(); ++s) {
+    for (const auto& e : ex.graph.out(s)) broken.add_edge(s, e);
+  }
+  const sg::SignalId a = g.find_signal("a");
+  sg::StateId from = sg::kNoState, to = sg::kNoState;
+  for (sg::StateId s = 0; s < broken.num_states() && to == sg::kNoState; ++s) {
+    for (const auto& e : broken.out(s)) {
+      if (e.sig == a && e.rise) {
+        from = e.to;  // a is 1 here, so a- is codable
+        // Reuse the a+ edge's source as the bogus target: codes differ
+        // exactly in signal a, matching a fall of a.
+        to = s;
+      }
+    }
+  }
+  ASSERT_NE(to, sg::kNoState);
+  broken.add_edge(from, {a, /*rise=*/false, to});
+  EXPECT_FALSE(verify::expansion_simulates(g, broken, ex.origin));
+}
+
+TEST(ExpansionSimulates, DetectsWrongOriginMapping) {
+  // Right-sized origin vector pointing at the wrong original states.
+  const auto g = sg::StateGraph::from_stg(handshake_stg());
+  sg::Assignments assigns(g.num_states());
+  assigns.add_signal("n", {V4::Zero, V4::Up, V4::One, V4::Down});
+  const auto ex = sg::expand(g, assigns);
+  ASSERT_TRUE(verify::expansion_simulates(g, ex.graph, ex.origin));
+  auto wrong = ex.origin;
+  wrong[0] = (wrong[0] + 1) % g.num_states();
+  EXPECT_FALSE(verify::expansion_simulates(g, ex.graph, wrong));
+}
+
 TEST(ExpansionSimulates, RejectsSizeMismatch) {
   const auto g = sg::StateGraph::from_stg(handshake_stg());
   const auto ex = sg::expand(g, sg::Assignments(g.num_states()));
