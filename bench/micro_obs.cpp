@@ -1,0 +1,68 @@
+// Microbenchmarks pinning the observability layer's cost contract
+// (src/obs/obs.hpp): a disabled span or counter site costs one relaxed
+// atomic load and a branch — compare BM_SpanDisabled against BM_BaselineLoop
+// to see the per-site overhead, and BM_SpanEnabled for the recording cost a
+// --trace run pays.
+#include <benchmark/benchmark.h>
+
+#include "obs/obs.hpp"
+
+namespace {
+
+/// The empty-loop floor the disabled cases are compared against.
+void BM_BaselineLoop(benchmark::State& state) {
+  std::int64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(++x);
+  }
+}
+BENCHMARK(BM_BaselineLoop);
+
+void BM_SpanDisabled(benchmark::State& state) {
+  mps::obs::set_enabled(false);
+  for (auto _ : state) {
+    mps::obs::Span span("bench.disabled");
+    span.arg("k", 1);
+    benchmark::DoNotOptimize(span.active());
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_CounterDisabled(benchmark::State& state) {
+  mps::obs::set_enabled(false);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    mps::obs::counter_add("bench.counter", ++i);
+  }
+  benchmark::DoNotOptimize(mps::obs::counter_value("bench.counter"));
+}
+BENCHMARK(BM_CounterDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  mps::obs::set_enabled(true);
+  mps::obs::reset();
+  for (auto _ : state) {
+    mps::obs::Span span("bench.enabled");
+    span.arg("k", 1);
+  }
+  state.counters["events"] = static_cast<double>(mps::obs::num_events());
+  mps::obs::set_enabled(false);
+  mps::obs::reset();
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_CounterEnabled(benchmark::State& state) {
+  mps::obs::set_enabled(true);
+  mps::obs::reset();
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    mps::obs::counter_add("bench.counter", ++i);
+  }
+  mps::obs::set_enabled(false);
+  mps::obs::reset();
+}
+BENCHMARK(BM_CounterEnabled);
+
+}  // namespace
+
+BENCHMARK_MAIN();

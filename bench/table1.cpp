@@ -55,6 +55,7 @@ struct JsonRow {
   std::size_t states = 0, signals = 0, literals = 0;
   std::size_t gates = 0, transistors = 0;  // complex-gate netlist (0 on failure)
   const char* outcome = "ok";  // "ok" | "LIMIT" | "FAIL"
+  sat::SolverTotals solver;    // DPLL effort behind this row (schema v3)
   double seconds = 0.0;
 };
 
@@ -173,23 +174,28 @@ BenchResult run_benchmark(const benchmarks::Benchmark& b) {
   const auto [v_gates, v_tx] = gate_counts(v);
   const auto [l_gates, l_tx] = gate_counts(l);
   out.json[0] = {"modular", m.final_states, m.final_signals, m.total_literals,
-                 m_gates, m_tx, m.success ? "ok" : "FAIL", m.seconds};
+                 m_gates, m_tx, m.success ? "ok" : "FAIL", m.solver_totals, m.seconds};
   out.json[1] = {"direct", v.final_states, v.final_signals, v.total_literals,
                  v_gates, v_tx, v.success ? "ok" : (v.hit_limit ? "LIMIT" : "FAIL"),
-                 v.seconds};
+                 v.solver_totals, v.seconds};
   out.json[2] = {"lavagno", l.final_states, l.final_signals, l.total_literals,
                  l_gates, l_tx, l.success ? "ok" : (l.hit_limit ? "LIMIT" : "FAIL"),
-                 l.seconds};
+                 l.solver_totals, l.seconds};
   return out;
 }
 
 /// Machine-readable report for the perf-regression harness: one record per
 /// (benchmark, method) with the quality columns and wall time, plus totals.
 /// schema_version 2 added the per-row complex-gate netlist columns
-/// ("gates", "transistors"); all version-1 fields are unchanged.
+/// ("gates", "transistors"); schema_version 3 adds the per-row DPLL effort
+/// ("decisions", "propagations", "conflicts" — backtracks under the
+/// conventional name).  All earlier fields are unchanged.
 /// Compare two runs with a plain diff or jq query; the quality fields must
-/// never drift between commits, the seconds may.  BENCH_table1.json in the
-/// repository root is the committed reference run (`--threads 1`).
+/// never drift between commits, the seconds may — and so may the solver
+/// columns of LIMIT rows whose solve was cut off by wall-clock (the
+/// backtrack-capped and finishing rows are search-path-determined).
+/// BENCH_table1.json in the repository root is the committed reference run
+/// (`--threads 1`).
 void write_json(const char* path, const std::vector<benchmarks::Benchmark>& benches,
                 const std::vector<BenchResult>& results, unsigned threads, double wall,
                 double cpu_total) {
@@ -199,7 +205,7 @@ void write_json(const char* path, const std::vector<benchmarks::Benchmark>& benc
     std::exit(1);
   }
   std::fprintf(f,
-               "{\n  \"benchmark\": \"table1\",\n  \"schema_version\": 2,\n"
+               "{\n  \"benchmark\": \"table1\",\n  \"schema_version\": 3,\n"
                "  \"threads\": %u,\n  \"rows\": [\n",
                threads);
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -209,9 +215,13 @@ void write_json(const char* path, const std::vector<benchmarks::Benchmark>& benc
                    "    {\"bench\": \"%s\", \"method\": \"%s\", \"states\": %zu, "
                    "\"signals\": %zu, \"literals\": %zu, \"gates\": %zu, "
                    "\"transistors\": %zu, \"outcome\": \"%s\", "
+                   "\"decisions\": %lld, \"propagations\": %lld, \"conflicts\": %lld, "
                    "\"seconds\": %.3f}%s\n",
                    benches[i].name.c_str(), r.method, r.states, r.signals, r.literals,
                    r.gates, r.transistors, r.outcome,
+                   static_cast<long long>(r.solver.decisions),
+                   static_cast<long long>(r.solver.propagations),
+                   static_cast<long long>(r.solver.conflicts),
                    r.seconds, (i + 1 == results.size() && j == 2) ? "" : ",");
     }
   }

@@ -9,6 +9,11 @@
 //                          the speed-independence verifier's verdict (with a
 //                          counterexample trace on failure)
 //     --dimacs <file>      export the direct CSC SAT instance
+//     --trace <file>       write a Chrome trace-event JSON of the run (load in
+//                          chrome://tracing or Perfetto; one lane per thread)
+//     --stats-json <file>  write aggregate span/counter statistics as JSON
+//     --threads N          worker threads for the modular method's module
+//                          loop (results are bit-identical for any N)
 //     --quiet              only the summary line
 //
 // With no arguments it synthesizes a built-in demo specification.
@@ -18,6 +23,7 @@
 // diagnostic to stderr and exits nonzero (2 for usage errors, 1 for
 // input/verification failures).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -33,6 +39,7 @@ int usage() {
                "usage: mps_synth <spec.g> [--method modular|direct|lavagno]\n"
                "                 [--out-pla <prefix>] [--out-verilog <file>]\n"
                "                 [--check-circuit] [--dimacs <file>] [--quiet]\n"
+               "                 [--trace <file>] [--stats-json <file>] [--threads N]\n"
                "       mps_synth --bench <name>   (use a built-in Table-1 benchmark)\n");
   return 2;
 }
@@ -53,6 +60,9 @@ int main(int argc, char** argv) {
   std::string pla_prefix;
   std::string verilog_path;
   std::string dimacs_path;
+  std::string trace_path;
+  std::string stats_path;
+  unsigned threads = 0;  // 0 = SynthesisOptions default (one per hardware thread)
   bool check_circuit = false;
   bool quiet = false;
 
@@ -81,6 +91,23 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       dimacs_path = v;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      trace_path = v;
+    } else if (arg == "--stats-json") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      stats_path = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      const int n = std::atoi(v);
+      if (n <= 0) {
+        std::fprintf(stderr, "error: --threads expects a positive integer, got '%s'\n", v);
+        return 2;
+      }
+      threads = static_cast<unsigned>(n);
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -94,6 +121,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: unknown --method: %s (expected modular|direct|lavagno)\n",
                  method.c_str());
     return 2;
+  }
+
+  if (!trace_path.empty() || !stats_path.empty()) {
+    obs::set_enabled(true);  // before any pool/solver work so every span lands
+    obs::set_thread_name("main");
   }
 
   try {
@@ -129,7 +161,9 @@ int main(int argc, char** argv) {
     std::string failure;
 
     if (method == "modular") {
-      auto r = core::modular_synthesis(g);
+      core::SynthesisOptions opts;
+      if (threads != 0) opts.num_threads = threads;
+      auto r = core::modular_synthesis(g, opts);
       ok = r.success;
       failure = r.failure_reason;
       final_graph = std::move(r.final_graph);
@@ -157,6 +191,17 @@ int main(int argc, char** argv) {
       covers = std::move(r.covers);
       literals = r.total_literals;
       seconds = r.seconds;
+    }
+
+    // Trace/stats cover the synthesis itself; written even when it failed —
+    // a failing run is exactly the one worth profiling.
+    if (!trace_path.empty()) {
+      obs::write_chrome_trace(trace_path);
+      if (!quiet) std::printf("wrote %s\n", trace_path.c_str());
+    }
+    if (!stats_path.empty()) {
+      obs::write_stats_json(stats_path);
+      if (!quiet) std::printf("wrote %s\n", stats_path.c_str());
     }
 
     if (!ok) {

@@ -70,6 +70,7 @@ LavagnoResult lavagno_synthesis(const sg::StateGraph& input, const LavagnoOption
         outcome = sat::Outcome::Sat;
       } else {
         outcome = sat::Solver().solve(enc.cnf(), &model, &sstats, opts.solve);
+        result.solver_totals.add(sstats);
       }
       if (outcome == sat::Outcome::Limit) {
         result.hit_limit = true;  // keep escalating m; note the limit

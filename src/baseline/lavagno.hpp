@@ -43,6 +43,9 @@ struct LavagnoResult {
   sg::StateGraph final_graph;
   std::vector<std::pair<std::string, logic::Cover>> covers;
   double seconds = 0.0;
+  /// DPLL effort summed over every insertion's formula attempts (walksat
+  /// successes contribute nothing — no DPLL search ran for them).
+  sat::SolverTotals solver_totals;
 };
 
 LavagnoResult lavagno_synthesis(const sg::StateGraph& g, const LavagnoOptions& opts = {});

@@ -42,6 +42,9 @@ struct DirectResult {
   std::vector<core::FormulaStat> formulas;
   int rounds = 0;
   double seconds = 0.0;
+  /// DPLL effort summed over every formula attempt (including the one that
+  /// hit the limit on the "SAT Backtrack Limit" rows).
+  sat::SolverTotals solver_totals;
 };
 
 DirectResult direct_synthesis(const sg::StateGraph& g, const DirectOptions& opts = {});

@@ -20,7 +20,11 @@ struct FormulaStat {
   std::size_t num_clauses = 0;
   sat::Outcome outcome = sat::Outcome::Unsat;
   double seconds = 0.0;
+  /// DPLL search effort (zero when the BDD or local-search path solved the
+  /// formula first); backtracks == conflicts for this solver class.
   std::int64_t backtracks = 0;
+  std::int64_t decisions = 0;
+  std::int64_t propagations = 0;
 };
 
 struct PartitionSatOptions {

@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "logic/extract.hpp"
+#include "obs/obs.hpp"
 #include "sg/csc.hpp"
 #include "sg/projection.hpp"
 #include "util/common.hpp"
@@ -29,6 +30,7 @@ bool has_silent_edges(const sg::StateGraph& g) {
 /// conflicts on the complete graph.
 bool rescue_direct(const sg::StateGraph& g, const PartitionSatOptions& opts,
                    sg::Assignments* assigns, std::vector<FormulaStat>* formulas) {
+  obs::Span span("synth.rescue");
   const auto analysis = sg::analyze_csc(g, assigns->empty() ? nullptr : assigns);
   if (analysis.satisfied()) return true;
   std::size_t m = static_cast<std::size_t>(std::max(1, analysis.lower_bound));
@@ -45,6 +47,8 @@ bool rescue_direct(const sg::StateGraph& g, const PartitionSatOptions& opts,
     const sat::Outcome outcome = sat::Solver().solve(enc.cnf(), &model, &sstats, opts.solve);
     stat.outcome = outcome;
     stat.backtracks = sstats.backtracks;
+    stat.decisions = sstats.decisions;
+    stat.propagations = sstats.propagations;
     stat.seconds = timer.seconds();
     formulas->push_back(stat);
     if (outcome == sat::Outcome::Sat) {
@@ -80,6 +84,10 @@ void compute_module(const sg::StateGraph& g, sg::SignalId o, const sg::Assignmen
                     std::chrono::steady_clock::time_point deadline,
                     const std::atomic<bool>* cancel, ModuleWork* w) {
   util::Timer timer;
+  // Runs on whichever pool thread claimed this output, so module spans are
+  // what makes per-wave speculation (and its waste) visible in the trace.
+  obs::Span span("synth.module", g.signal(o).name);
+  span.arg("round", round);
   const InputSetResult isr = determine_input_set(g, o, snapshot, opts.input_set);
   w->module = build_module(g, o, isr, snapshot);
 
@@ -97,6 +105,9 @@ void compute_module(const sg::StateGraph& g, sg::SignalId o, const sg::Assignmen
     w->inserts = w->psr.success && w->psr.module_assignments.num_signals() > 0;
   }
   w->report.seconds = timer.seconds();
+  span.arg("module_states", static_cast<std::int64_t>(w->report.module_states));
+  span.arg("conflicts", static_cast<std::int64_t>(w->report.module_conflicts));
+  span.arg("inserts", w->inserts ? 1 : 0);
 }
 
 }  // namespace
@@ -116,6 +127,7 @@ std::size_t derive_all_logic(const sg::StateGraph& g, const logic::MinimizeOptio
 
 SynthesisResult modular_synthesis(const sg::StateGraph& input, const SynthesisOptions& opts) {
   util::Timer timer;
+  obs::Span synth_span("synth.modular");
   SynthesisResult result;
 
   sg::StateGraph g = has_silent_edges(input) ? sg::contract_silent(input) : input;
@@ -155,8 +167,13 @@ SynthesisResult modular_synthesis(const sg::StateGraph& input, const SynthesisOp
     // insert nothing are unaffected by the snapshot, hence most rounds
     // finish in (#inserting outputs + 1) waves.
     std::size_t done = 0;
+    int wave_no = 0;
     while (done < outputs.size()) {
       const std::size_t wave = outputs.size() - done;
+      obs::Span wave_span("synth.wave");
+      wave_span.arg("round", round);
+      wave_span.arg("wave", ++wave_no);
+      wave_span.arg("size", static_cast<std::int64_t>(wave));
       const sg::Assignments snapshot = assigns;
       std::vector<ModuleWork> work(wave);
       std::vector<std::atomic<bool>> cancel(wave);
@@ -179,6 +196,7 @@ SynthesisResult modular_synthesis(const sg::StateGraph& input, const SynthesisOp
 
       // Sequential merge in output order (identical to the serial flow).
       const std::size_t adopt = std::min(first_insert.load() + 1, wave);
+      wave_span.arg("adopted", static_cast<std::int64_t>(adopt));
       for (std::size_t i = 0; i < adopt; ++i) {
         ModuleWork& w = work[i];
         if (!w.module.conflicts.empty()) {
@@ -237,7 +255,18 @@ SynthesisResult modular_synthesis(const sg::StateGraph& input, const SynthesisOp
     result.total_literals =
         derive_all_logic(result.final_graph, opts.minimize, &result.covers);
   }
+  for (const ModuleReport& m : result.modules) {
+    for (const FormulaStat& f : m.formulas) {
+      result.solver_totals.decisions += f.decisions;
+      result.solver_totals.propagations += f.propagations;
+      result.solver_totals.conflicts += f.backtracks;
+    }
+  }
   result.seconds = timer.seconds();
+  synth_span.arg("rounds", result.rounds);
+  synth_span.arg("final_states", static_cast<std::int64_t>(result.final_states));
+  synth_span.arg("decisions", result.solver_totals.decisions);
+  synth_span.arg("success", result.success ? 1 : 0);
   return result;
 }
 

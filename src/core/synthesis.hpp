@@ -74,6 +74,11 @@ struct SynthesisResult {
   std::vector<ModuleReport> modules;
   int rounds = 0;
   double seconds = 0.0;
+  /// Search effort summed over every adopted module formula plus the rescue
+  /// path — i.e. over the formulas whose results the flow actually used, so
+  /// the totals are bit-identical for any num_threads (cancelled speculative
+  /// solves are excluded by construction, like everything else about them).
+  sat::SolverTotals solver_totals;
 };
 
 /// Run the modular partitioning synthesis on a state graph.

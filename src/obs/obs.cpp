@@ -1,0 +1,299 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/text.hpp"
+
+namespace mps::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+struct SpanEvent {
+  const char* name;
+  std::string detail;
+  std::int64_t start_ns;
+  std::int64_t dur_ns;
+  const char* arg_keys[Span::kMaxArgs];
+  std::int64_t arg_values[Span::kMaxArgs];
+  int num_args;
+};
+
+/// One lane: owned jointly by the registry and the thread_local handle, so
+/// it survives whichever dies first (pool workers die before export; the
+/// registry may be torn down before a late thread exits at process end).
+struct ThreadBuffer {
+  std::mutex mutex;
+  int tid = 0;
+  std::string name;
+  std::vector<SpanEvent> events;
+};
+
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+
+  std::int64_t now_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  ThreadBuffer& local_buffer() {
+    thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+      auto b = std::make_shared<ThreadBuffer>();
+      std::lock_guard lock(mutex_);
+      b->tid = static_cast<int>(buffers_.size());
+      buffers_.push_back(b);
+      return b;
+    }();
+    return *buffer;
+  }
+
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers() {
+    std::lock_guard lock(mutex_);
+    return buffers_;
+  }
+
+  void counter_add(const char* name, std::int64_t delta) {
+    std::lock_guard lock(mutex_);
+    counters_[name] += delta;
+  }
+
+  std::int64_t counter_value(std::string_view name) {
+    std::lock_guard lock(mutex_);
+    const auto it = counters_.find(std::string(name));
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  std::map<std::string, std::int64_t> counters() {
+    std::lock_guard lock(mutex_);
+    return counters_;
+  }
+
+  void reset() {
+    std::lock_guard lock(mutex_);
+    counters_.clear();
+    for (const auto& b : buffers_) {
+      std::lock_guard bl(b->mutex);
+      b->events.clear();
+    }
+  }
+
+ private:
+  Registry() : epoch_(std::chrono::steady_clock::now()) {}
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::mutex mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::map<std::string, std::int64_t> counters_;  // ordered for stable JSON
+};
+
+/// JSON string escaping for names/details (control chars, quote, backslash).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) throw util::Error("cannot open " + path + " for writing");
+  out << text;
+  if (!out) throw util::Error("error writing " + path);
+}
+
+}  // namespace
+
+void set_enabled(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed); }
+
+void reset() { Registry::instance().reset(); }
+
+void set_thread_name(std::string_view name) {
+  ThreadBuffer& b = Registry::instance().local_buffer();
+  std::lock_guard lock(b.mutex);
+  b.name.assign(name);
+}
+
+void counter_add(const char* name, std::int64_t delta) {
+  if (!enabled()) return;
+  Registry::instance().counter_add(name, delta);
+}
+
+std::int64_t counter_value(std::string_view name) {
+  return Registry::instance().counter_value(name);
+}
+
+std::size_t num_events() {
+  std::size_t n = 0;
+  for (const auto& b : Registry::instance().buffers()) {
+    std::lock_guard lock(b->mutex);
+    n += b->events.size();
+  }
+  return n;
+}
+
+void Span::begin() { start_ns_ = Registry::instance().now_ns(); }
+
+void Span::end() {
+  Registry& reg = Registry::instance();
+  const std::int64_t dur = reg.now_ns() - start_ns_;
+  ThreadBuffer& b = reg.local_buffer();
+  std::lock_guard lock(b.mutex);
+  SpanEvent& e = b.events.emplace_back();
+  e.name = name_;
+  e.detail = std::move(detail_);
+  e.start_ns = start_ns_;
+  e.dur_ns = dur;
+  e.num_args = num_args_;
+  for (int i = 0; i < num_args_; ++i) {
+    e.arg_keys[i] = arg_keys_[i];
+    e.arg_values[i] = arg_values_[i];
+  }
+}
+
+std::string chrome_trace_json() {
+  std::ostringstream out;
+  out << "[\n";
+  bool first = true;
+  const auto buffers = Registry::instance().buffers();
+  for (const auto& b : buffers) {
+    std::lock_guard lock(b->mutex);
+    const std::string lane =
+        b->name.empty() ? "thread-" + std::to_string(b->tid) : b->name;
+    out << (first ? "" : ",\n")
+        << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":" << b->tid
+        << ",\"args\":{\"name\":\"" << json_escape(lane) << "\"}}";
+    first = false;
+  }
+  for (const auto& b : buffers) {
+    std::lock_guard lock(b->mutex);
+    for (const SpanEvent& e : b->events) {
+      out << (first ? "" : ",\n")
+          << "{\"ph\":\"X\",\"cat\":\"mps\",\"name\":\"" << json_escape(e.name)
+          << "\",\"pid\":0,\"tid\":" << b->tid
+          << util::format(",\"ts\":%.3f,\"dur\":%.3f",
+                          static_cast<double>(e.start_ns) / 1000.0,
+                          static_cast<double>(e.dur_ns) / 1000.0);
+      if (!e.detail.empty() || e.num_args > 0) {
+        out << ",\"args\":{";
+        bool first_arg = true;
+        if (!e.detail.empty()) {
+          out << "\"detail\":\"" << json_escape(e.detail) << "\"";
+          first_arg = false;
+        }
+        for (int i = 0; i < e.num_args; ++i) {
+          out << (first_arg ? "" : ",") << "\"" << json_escape(e.arg_keys[i])
+              << "\":" << e.arg_values[i];
+          first_arg = false;
+        }
+        out << "}";
+      }
+      out << "}";
+      first = false;
+    }
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
+std::string stats_json() {
+  struct Agg {
+    std::int64_t count = 0;
+    std::int64_t total_ns = 0;
+    std::int64_t max_ns = 0;
+  };
+  std::map<std::string, Agg> spans;  // ordered for stable output
+  struct Lane {
+    std::string name;
+    std::int64_t events = 0;
+    std::int64_t busy_ns = 0;  // sum of pool.task slices (caller + workers)
+  };
+  std::vector<Lane> lanes;
+
+  const auto buffers = Registry::instance().buffers();
+  for (const auto& b : buffers) {
+    std::lock_guard lock(b->mutex);
+    Lane lane;
+    lane.name = b->name.empty() ? "thread-" + std::to_string(b->tid) : b->name;
+    for (const SpanEvent& e : b->events) {
+      Agg& a = spans[e.name];
+      ++a.count;
+      a.total_ns += e.dur_ns;
+      a.max_ns = std::max(a.max_ns, e.dur_ns);
+      ++lane.events;
+      if (std::string_view(e.name) == "pool.task") lane.busy_ns += e.dur_ns;
+    }
+    lanes.push_back(std::move(lane));
+  }
+
+  std::ostringstream out;
+  out << "{\n  \"spans\": {\n";
+  bool first = true;
+  for (const auto& [name, a] : spans) {
+    out << (first ? "" : ",\n") << "    \"" << json_escape(name)
+        << util::format("\": {\"count\": %lld, \"total_seconds\": %.6f, "
+                        "\"max_seconds\": %.6f}",
+                        static_cast<long long>(a.count),
+                        static_cast<double>(a.total_ns) * 1e-9,
+                        static_cast<double>(a.max_ns) * 1e-9);
+    first = false;
+  }
+  out << "\n  },\n  \"counters\": {\n";
+  first = true;
+  for (const auto& [name, value] : Registry::instance().counters()) {
+    out << (first ? "" : ",\n") << "    \"" << json_escape(name)
+        << "\": " << value;
+    first = false;
+  }
+  out << "\n  },\n  \"threads\": [\n";
+  first = true;
+  for (std::size_t tid = 0; tid < lanes.size(); ++tid) {
+    const Lane& l = lanes[tid];
+    out << (first ? "" : ",\n")
+        << util::format("    {\"tid\": %zu, \"name\": \"%s\", \"events\": %lld, "
+                        "\"busy_seconds\": %.6f}",
+                        tid, json_escape(l.name).c_str(),
+                        static_cast<long long>(l.events),
+                        static_cast<double>(l.busy_ns) * 1e-9);
+    first = false;
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+void write_chrome_trace(const std::string& path) { write_file(path, chrome_trace_json()); }
+
+void write_stats_json(const std::string& path) { write_file(path, stats_json()); }
+
+}  // namespace mps::obs

@@ -1,0 +1,123 @@
+// Process-wide observability: scoped spans, named counters, and two export
+// formats — Chrome trace-event JSON (load the file in chrome://tracing or
+// Perfetto; one lane per registered thread) and a flat aggregate-stats JSON.
+//
+// The layer is compiled in unconditionally but *disabled* by default.  The
+// entire hot-path cost in the disabled state is one relaxed atomic load and
+// a branch per instrumentation site (pinned by bench/micro_obs.cpp), so the
+// solver, the state-graph substrate and the synthesis flow keep their spans
+// in place in every build.  Spans and counters record only while a client
+// (mps_synth --trace / --stats-json, or a test) has called set_enabled(true).
+//
+// Threading model: every thread appends to its own buffer (registered once,
+// on first use, under the registry mutex); export walks all buffers.  A
+// buffer outlives its thread — util::ThreadPool workers die with their pool,
+// their lanes survive until the trace is written.  Recording while other
+// threads export is safe (per-buffer mutex); the usual pattern is to export
+// after the instrumented work finished.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mps::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True while recording.  Relaxed: instrumentation is advisory, a span that
+/// straddles an enable/disable edge may be dropped or half-recorded.
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+/// Turn recording on or off (off drops nothing already recorded).
+void set_enabled(bool on);
+
+/// Drop every recorded event and counter (thread registrations and lane
+/// names survive).  Test/benchmark hook.
+void reset();
+
+/// Name the calling thread's lane ("main", "worker-3").  Registers the
+/// thread with the sink even while disabled — lane metadata is cheap and a
+/// pool that outlives an enable edge should still have named lanes.
+void set_thread_name(std::string_view name);
+
+/// Add `delta` to the named process-wide counter.  `name` must be a string
+/// literal (stored by pointer on the hot path).  No-op while disabled.
+void counter_add(const char* name, std::int64_t delta);
+
+/// Current value of a counter (0 if never bumped).  Test hook.
+std::int64_t counter_value(std::string_view name);
+
+/// Number of span events recorded so far across all threads.  Test hook.
+std::size_t num_events();
+
+/// A scoped span: records {name, detail, thread, start, duration} plus up to
+/// kMaxArgs numeric arguments on destruction.  When the layer is disabled at
+/// construction the span is inert: no clock read, no allocation, no
+/// recording (arg() and the destructor become branches on a bool).
+class Span {
+ public:
+  static constexpr int kMaxArgs = 6;
+
+  /// `name` must be a string literal (stored by pointer until export).
+  explicit Span(const char* name) : name_(name) {
+    if (enabled()) begin();
+  }
+  /// A span with a dynamic detail string (e.g. the module's output signal);
+  /// the detail is exported as a string arg, aggregation stays by `name`.
+  Span(const char* name, std::string_view detail) : name_(name) {
+    if (enabled()) {
+      detail_.assign(detail);
+      begin();
+    }
+  }
+  ~Span() {
+    if (active()) end();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach a numeric argument (exported into the trace event's "args" and
+  /// ignored beyond kMaxArgs).  `key` must be a string literal.
+  void arg(const char* key, std::int64_t value) {
+    if (active() && num_args_ < kMaxArgs) {
+      arg_keys_[num_args_] = key;
+      arg_values_[num_args_] = value;
+      ++num_args_;
+    }
+  }
+
+  /// True when this span is recording (the layer was enabled at entry).
+  bool active() const { return start_ns_ >= 0; }
+
+ private:
+  void begin();
+  void end();
+
+  const char* name_;
+  std::string detail_;
+  std::int64_t start_ns_ = -1;
+  const char* arg_keys_[kMaxArgs];
+  std::int64_t arg_values_[kMaxArgs];
+  int num_args_ = 0;
+};
+
+/// Chrome trace-event JSON: a top-level array of thread_name metadata
+/// records (one lane per registered thread) followed by one complete ("X")
+/// event per span, timestamps in microseconds since the first registry use.
+std::string chrome_trace_json();
+
+/// Flat aggregate stats: per-span-name {count, total_seconds, max_seconds},
+/// every counter, and per-thread lane summaries (event count, busy seconds).
+std::string stats_json();
+
+/// Write chrome_trace_json() / stats_json() to `path` (util::Error on I/O
+/// failure).
+void write_chrome_trace(const std::string& path);
+void write_stats_json(const std::string& path);
+
+}  // namespace mps::obs

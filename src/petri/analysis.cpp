@@ -4,6 +4,8 @@
 #include <deque>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
+
 namespace mps::petri {
 
 bool is_marked_graph(const Net& net) {
@@ -34,7 +36,13 @@ bool is_free_choice(const Net& net) {
 
 ReachabilityResult reachability(const Net& net, const Marking& m0,
                                 const ReachabilityOptions& opts) {
+  obs::Span span("petri.reachability");
   ReachabilityResult result;
+  const auto finish = [&] {
+    span.arg("markings", static_cast<std::int64_t>(result.markings.size()));
+    span.arg("edges", static_cast<std::int64_t>(result.edges.size()));
+    span.arg("complete", result.complete ? 1 : 0);
+  };
   std::unordered_map<Marking, std::uint32_t, MarkingHash> index;
 
   result.markings.push_back(m0);
@@ -71,6 +79,7 @@ ReachabilityResult reachability(const Net& net, const Marking& m0,
       }
       if (result.markings.size() >= opts.max_markings) {
         result.complete = false;
+        finish();
         return result;
       }
       const std::uint32_t id = static_cast<std::uint32_t>(result.markings.size());
@@ -80,6 +89,7 @@ ReachabilityResult reachability(const Net& net, const Marking& m0,
       result.edges.push_back({from, t, id});
     }
   }
+  finish();
   return result;
 }
 

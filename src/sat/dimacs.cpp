@@ -38,8 +38,12 @@ Cnf parse_dimacs(std::string_view text) {
       if (toks.size() != 4 || toks[1] != "cnf") {
         throw util::ParseError("bad DIMACS header", line_no);
       }
+      if (declared_vars >= 0) throw util::ParseError("duplicate 'p cnf' header", line_no);
       declared_vars = parse_long(toks[2], line_no);
       declared_clauses = parse_long(toks[3], line_no);
+      if (declared_vars < 0 || declared_clauses < 0) {
+        throw util::ParseError("negative count in 'p cnf' header", line_no);
+      }
       cnf.new_vars(static_cast<std::size_t>(declared_vars));
       continue;
     }
@@ -57,10 +61,14 @@ Cnf parse_dimacs(std::string_view text) {
     }
   }
   if (!clause.empty()) cnf.add_clause(clause);  // tolerate a missing final 0
-  if (declared_clauses >= 0 && static_cast<long>(cnf.num_clauses()) > declared_clauses) {
-    // More clauses than declared is accepted (some generators undercount),
-    // but fewer indicates truncation — normalization may legitimately drop
-    // tautologies, so only a gross mismatch is fatal.
+  // More clauses than declared is accepted (some generators undercount), but
+  // fewer indicates a truncated file.
+  if (declared_clauses >= 0 && static_cast<long>(cnf.num_clauses()) < declared_clauses) {
+    throw util::ParseError(
+        "truncated DIMACS: header declares " + std::to_string(declared_clauses) +
+            " clauses but only " + std::to_string(cnf.num_clauses()) +
+            " present (if a normalizer dropped tautologies, re-emit the header)",
+        line_no);
   }
   return cnf;
 }

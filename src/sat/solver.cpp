@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/common.hpp"
 
 namespace mps::sat {
@@ -425,8 +426,26 @@ class Dpll {
 }  // namespace
 
 Outcome Solver::solve(const Cnf& cnf, Model* model, SolveStats* stats, const SolveOptions& opts) {
+  obs::Span span("sat.solve");
   Dpll dpll(cnf, opts);
-  const Outcome outcome = dpll.run(model, stats);
+  SolveStats local;
+  const Outcome outcome = dpll.run(model, &local);
+  if (span.active()) {
+    // The SolveStats of this call double as the span payload (one source of
+    // truth for traces and caller-reported statistics).
+    span.arg("vars", static_cast<std::int64_t>(cnf.num_vars()));
+    span.arg("clauses", static_cast<std::int64_t>(cnf.num_clauses()));
+    span.arg("decisions", local.decisions);
+    span.arg("propagations", local.propagations);
+    span.arg("conflicts", local.conflicts());
+    span.arg("outcome", static_cast<std::int64_t>(outcome));
+    obs::counter_add("sat.solves", 1);
+    obs::counter_add("sat.decisions", local.decisions);
+    obs::counter_add("sat.propagations", local.propagations);
+    obs::counter_add("sat.conflicts", local.conflicts());
+    obs::counter_add("sat.restarts", local.restarts);
+  }
+  if (stats != nullptr) *stats = local;
   if (outcome == Outcome::Sat && model != nullptr) {
     MPS_ASSERT(cnf.satisfied_by(*model));
   }

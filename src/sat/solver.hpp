@@ -55,12 +55,34 @@ struct SolveOptions {
   std::vector<Lit>* decision_log = nullptr;
 };
 
+/// Search statistics of one solve() call.  Also the payload of the
+/// "sat.solve" span every solve records into obs:: — the trace/stats output
+/// and the caller-visible stats are the same numbers by construction.
 struct SolveStats {
   std::int64_t decisions = 0;
   std::int64_t backtracks = 0;
   std::int64_t propagations = 0;
   std::int64_t restarts = 0;
   double seconds = 0.0;
+  /// This solver backtracks on every conflict (no clause learning), so the
+  /// conflict count reported in traces and Table-1 rows IS the backtrack
+  /// count under its conventional name.
+  std::int64_t conflicts() const { return backtracks; }
+};
+
+/// Aggregate search effort over a group of solves (one synthesis run, one
+/// Table-1 row).  Deliberately order-insensitive sums, so parallel and
+/// serial synthesis flows report identical totals.
+struct SolverTotals {
+  std::int64_t decisions = 0;
+  std::int64_t propagations = 0;
+  std::int64_t conflicts = 0;
+
+  void add(const SolveStats& s) {
+    decisions += s.decisions;
+    propagations += s.propagations;
+    conflicts += s.conflicts();
+  }
 };
 
 class Solver {

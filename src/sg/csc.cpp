@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "util/common.hpp"
 
 namespace mps::sg {
@@ -77,6 +78,7 @@ class SignatureKeys {
 }  // namespace
 
 CscResult analyze_csc(const StateGraph& g, const Assignments* assigns, const CscOptions& opts) {
+  obs::Span span("sg.analyze_csc");
   CscResult result;
 
   std::unordered_map<util::BitVec, std::vector<StateId>, util::BitVecHash> by_code;
@@ -141,6 +143,9 @@ CscResult analyze_csc(const StateGraph& g, const Assignments* assigns, const Csc
   // Deterministic order regardless of hash iteration.
   std::sort(result.conflicts.begin(), result.conflicts.end());
   std::sort(result.compatible_pairs.begin(), result.compatible_pairs.end());
+  span.arg("states", static_cast<std::int64_t>(g.num_states()));
+  span.arg("conflicts", static_cast<std::int64_t>(result.conflicts.size()));
+  span.arg("usc_pairs", static_cast<std::int64_t>(result.num_usc_pairs));
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "petri/analysis.hpp"
 #include "util/common.hpp"
 
@@ -115,6 +116,9 @@ std::vector<util::BitVec> infer_codes(const stg::Stg& stg,
                                       const petri::ReachabilityResult& reach) {
   const std::size_t num_states = reach.markings.size();
   const std::size_t num_signals = stg.num_signals();
+  obs::Span span("sg.infer_codes");
+  span.arg("states", static_cast<std::int64_t>(num_states));
+  span.arg("signals", static_cast<std::int64_t>(num_signals));
 
   std::vector<util::BitVec> codes(num_states, util::BitVec(num_signals));
   std::vector<char> coded(num_states, 0);

@@ -1,6 +1,7 @@
 #include "stg/parser.hpp"
 
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 
@@ -27,7 +28,7 @@ bool parse_transition_token(std::string_view tok, const IsSignal& is_signal,
   int instance = 0;
   if (const auto slash = body.rfind('/'); slash != std::string_view::npos) {
     const std::string_view idx = body.substr(slash + 1);
-    if (idx.empty()) return false;
+    if (idx.empty() || idx.size() > 9) return false;  // >9 digits would overflow int
     instance = 0;
     for (char c : idx) {
       if (c < '0' || c > '9') return false;
@@ -181,6 +182,7 @@ class GParser {
       throw util::ParseError(".marking must be of the form .marking { ... }", line_);
     }
     marking_body_ = line.substr(open + 1, close - open - 1);
+    marking_line_ = line_;  // markings are resolved after .end; keep the line for errors
   }
 
   void parse_initial(const std::vector<std::string>& toks) {
@@ -195,6 +197,25 @@ class GParser {
     }
   }
 
+  /// A "=count" token-count in the .marking body.  Must consume the whole
+  /// string, fit in int, and be at least 1 (a zero or negative token count
+  /// is meaningless).
+  int parse_marking_count(const std::string& text) const {
+    std::size_t used = 0;
+    long v = 0;
+    try {
+      v = std::stol(text, &used);
+    } catch (const std::exception&) {
+      used = std::string::npos;  // empty or non-numeric
+    }
+    if (used != text.size() || v < 1 || v > std::numeric_limits<int>::max()) {
+      throw util::ParseError("bad token count in .marking: '=" + text +
+                                 "' (expected a positive integer)",
+                             marking_line_);
+    }
+    return static_cast<int>(v);
+  }
+
   /// Tokenize the marking body: "<a+,b->" is one token; "p1" and "p1=2" too.
   void finish_marking() {
     petri::Marking m(stg_.net().num_places());
@@ -206,7 +227,9 @@ class GParser {
       std::size_t j = i;
       if (body[i] == '<') {
         j = body.find('>', i);
-        if (j == std::string::npos) throw util::ParseError("unterminated <...> in .marking", 0);
+        if (j == std::string::npos) {
+          throw util::ParseError("unterminated <...> in .marking", marking_line_);
+        }
         ++j;
       } else {
         while (j < body.size() && !std::isspace(static_cast<unsigned char>(body[j]))) ++j;
@@ -215,17 +238,17 @@ class GParser {
       // Optional "=count" suffix (also after ">").
       int count = 1;
       if (const auto eq = tok.rfind('='); eq != std::string::npos && tok[0] != '<') {
-        count = std::stoi(tok.substr(eq + 1));
+        count = parse_marking_count(tok.substr(eq + 1));
         tok.resize(eq);
       } else if (j < body.size() && body[j] == '=') {
         std::size_t k = j + 1;
         while (k < body.size() && std::isdigit(static_cast<unsigned char>(body[k]))) ++k;
-        count = std::stoi(body.substr(j + 1, k - j - 1));
+        count = parse_marking_count(body.substr(j + 1, k - j - 1));
         j = k;
       }
       const auto it = places_.find(tok);
       if (it == places_.end()) {
-        throw util::ParseError("marked place not found in graph: " + tok, 0);
+        throw util::ParseError("marked place not found in graph: " + tok, marking_line_);
       }
       for (int k = 0; k < count; ++k) m.add_token(it->second);
       i = j;
@@ -235,6 +258,7 @@ class GParser {
 
   std::string_view text_;
   int line_ = 0;
+  int marking_line_ = 0;
   Stg stg_;
   std::map<std::string, petri::TransId> transitions_;
   std::map<std::string, petri::PlaceId> places_;

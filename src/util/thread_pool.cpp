@@ -1,8 +1,18 @@
 #include "util/thread_pool.hpp"
 
+#include <atomic>
+
+#include "obs/obs.hpp"
 #include "util/common.hpp"
 
 namespace mps::util {
+
+namespace {
+/// Process-wide worker numbering: lanes from different pools (the table1
+/// row pool, each synthesis call's module pool) stay distinguishable in a
+/// trace even though every pool starts its own workers at 0.
+std::atomic<int> g_worker_seq{0};
+}  // namespace
 
 unsigned ThreadPool::hardware_threads() {
   const unsigned n = std::thread::hardware_concurrency();
@@ -30,7 +40,13 @@ void ThreadPool::drain_job(std::unique_lock<std::mutex>& lock) {
     const auto* fn = job_;
     lock.unlock();
     try {
-      (*fn)(i);
+      {
+        // One span per claimed index: the per-lane "pool.task" slices are
+        // what the utilization numbers in the stats output sum up.
+        obs::Span span("pool.task");
+        span.arg("index", static_cast<std::int64_t>(i));
+        (*fn)(i);
+      }
       lock.lock();
     } catch (...) {
       lock.lock();
@@ -43,6 +59,8 @@ void ThreadPool::drain_job(std::unique_lock<std::mutex>& lock) {
 }
 
 void ThreadPool::worker_loop(std::stop_token st) {
+  obs::set_thread_name(
+      "worker-" + std::to_string(g_worker_seq.fetch_add(1, std::memory_order_relaxed)));
   std::unique_lock lock(mutex_);
   for (;;) {
     work_cv_.wait(lock, st, [&] { return job_ != nullptr && next_index_ < job_size_; });

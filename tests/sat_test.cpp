@@ -241,6 +241,33 @@ TEST(Dimacs, RejectsMalformedInput) {
   EXPECT_THROW(parse_dimacs("p cnf 1 1\n5 0\n"), mps::util::ParseError);  // var out of range
 }
 
+// Regression: the truncation check compared the declared clause count
+// against the declared clause count (always equal), so a truncated file —
+// fewer clauses than the header promises — parsed silently.
+TEST(Dimacs, RejectsFewerClausesThanDeclared) {
+  try {
+    parse_dimacs("p cnf 2 3\n1 2 0\n-1 0\n");
+    FAIL() << "truncated DIMACS must not parse";
+  } catch (const mps::util::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos) << e.what();
+  }
+  // A dropped tautology also trips the check; the message points at the
+  // header so the producer knows to re-emit it.
+  EXPECT_THROW(parse_dimacs("p cnf 2 2\n1 -1 0\n1 2 0\n"), mps::util::ParseError);
+}
+
+TEST(Dimacs, AcceptsMoreClausesThanDeclared) {
+  // Some generators undercount; extra clauses are kept, not rejected.
+  const Cnf cnf = parse_dimacs("p cnf 2 1\n1 2 0\n-1 2 0\n-2 0\n");
+  EXPECT_EQ(cnf.num_clauses(), 3u);
+}
+
+TEST(Dimacs, RejectsBadHeaders) {
+  EXPECT_THROW(parse_dimacs("p cnf 2 1\np cnf 2 1\n1 0\n"), mps::util::ParseError);  // duplicate
+  EXPECT_THROW(parse_dimacs("p cnf -1 1\n"), mps::util::ParseError);  // negative var count
+  EXPECT_THROW(parse_dimacs("p cnf 2 -1\n"), mps::util::ParseError);  // negative clause count
+}
+
 /// Thousands of forced not-equal pairs: (a ∨ b) ∧ (¬a ∨ ¬b).  Every
 /// decision triggers a unit propagation and none ever conflicts, so the
 /// search runs decision-after-decision with zero backtracks — the shape

@@ -127,6 +127,40 @@ TEST(Parser, Errors) {
                mps::util::ParseError);
 }
 
+TEST(Parser, MarkingCountSuffix) {
+  const char* good =
+      ".model m\n.outputs a\n.graph\np0 a+\na+ a-\na- p0\n.marking { p0=2 }\n.end\n";
+  const Stg stg = parse_g(good);
+  int total = 0;
+  for (mps::petri::PlaceId p = 0; p < stg.net().num_places(); ++p) {
+    total += stg.initial_marking().tokens(p);
+  }
+  EXPECT_EQ(total, 2);
+}
+
+// Regression: malformed "=count" suffixes in .marking escaped as raw
+// std::stoi exceptions (std::invalid_argument / std::out_of_range) with no
+// line information.  They must surface as ParseError naming the .marking line.
+TEST(Parser, MarkingCountErrorsAreParseErrors) {
+  const auto with_marking = [](const std::string& marking) {
+    return ".model m\n.outputs a\n.graph\np0 a+\na+ a-\na- p0\n.marking { " + marking +
+           " }\n.end\n";
+  };
+  for (const char* bad : {"p0=x", "p0=", "p0=99999999999999999999", "p0=0", "p0=-1"}) {
+    try {
+      parse_g(with_marking(bad));
+      FAIL() << "expected ParseError for marking '" << bad << "'";
+    } catch (const mps::util::ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find("line 7"), std::string::npos) << e.what();
+    }
+  }
+  // The "<src,dst>=count" form takes the second parse site (count read from
+  // the body after the token, not from within it).
+  EXPECT_THROW(
+      parse_g(".model m\n.outputs a\n.graph\na+ a-\na- a+\n.marking { <a-,a+>=abc }\n.end\n"),
+      mps::util::ParseError);
+}
+
 TEST(Parser, ValidationRejectsUnusedSignal) {
   EXPECT_THROW(
       parse_g(".model x\n.outputs a b\n.graph\na+ a-\na- a+\n.marking { <a-,a+> }\n.end\n"),

@@ -220,6 +220,41 @@ TEST(ThreadPool, PropagatesException) {
   EXPECT_EQ(count.load(), 8);
 }
 
+TEST(ThreadPool, ExceptionAbandonsUnstartedIndices) {
+  mps::util::ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  const std::size_t n = 100000;
+  EXPECT_THROW(pool.parallel_for(n,
+                                 [&](std::size_t i) {
+                                   executed.fetch_add(1);
+                                   if (i == 0) throw mps::util::Error("first task fails");
+                                 }),
+               mps::util::Error);
+  // Index 0 is always claimed by the caller (it holds the pool mutex when
+  // the job is posted) and throws immediately, which sets next_index_ to
+  // job_size_.  Workers can only claim tasks during the tiny window before
+  // that, so nearly all of the n indices must be abandoned.  The bound is
+  // deliberately loose — the property being pinned is "not all n ran".
+  EXPECT_GE(executed.load(), 1);
+  EXPECT_LT(executed.load(), static_cast<int>(n) / 2);
+}
+
+TEST(ThreadPool, SerialPathPropagatesAndAbandons) {
+  mps::util::ThreadPool pool(1);  // no workers: the caller runs indices in order
+  int executed = 0;
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   ++executed;
+                                   if (i == 3) throw mps::util::LimitError("stop");
+                                 }),
+               mps::util::LimitError);
+  EXPECT_EQ(executed, 4);  // 0..3 ran; 4..99 abandoned
+  // The serial pool is reusable after a throw, same as the threaded one.
+  executed = 0;
+  pool.parallel_for(5, [&](std::size_t) { ++executed; });
+  EXPECT_EQ(executed, 5);
+}
+
 TEST(ThreadPool, SingleThreadRunsInOrder) {
   mps::util::ThreadPool pool(1);
   std::vector<std::size_t> order;
