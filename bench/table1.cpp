@@ -16,10 +16,14 @@
 // with num_threads = 1 so the printed per-row cpu columns stay comparable
 // with the paper's single-core measurements.  `--json PATH` additionally
 // writes a machine-readable report (one record per benchmark × method)
-// for the perf-regression harness; see BENCH_table1.json.
+// for the perf-regression harness; see BENCH_table1.json.  `--cache-dir D`
+// routes every (benchmark, method) cell through the svc::Cache result
+// cache: a warm re-run reads all rows back from disk (the printed cpu
+// columns then show the original cold-run times) and reports the hit rate.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -59,20 +63,6 @@ struct JsonRow {
   double seconds = 0.0;
 };
 
-/// Gate and transistor-equivalent counts of the complex-gate netlist for a
-/// successful synthesis result; {0, 0} when the method failed or the
-/// netlist cannot be built.
-template <typename Result>
-std::pair<std::size_t, std::size_t> gate_counts(const Result& r) {
-  if (!r.success) return {0, 0};
-  try {
-    const auto n = netlist::build_netlist(r.final_graph, r.covers);
-    return {n.num_gates(), n.transistor_estimate()};
-  } catch (const util::Error&) {
-    return {0, 0};
-  }
-}
-
 /// Everything one benchmark contributes: its two printed rows plus the raw
 /// numbers the summary needs.  Filled concurrently, consumed in order.
 struct BenchResult {
@@ -84,33 +74,55 @@ struct BenchResult {
   JsonRow json[3];
 };
 
-BenchResult run_benchmark(const benchmarks::Benchmark& b) {
+/// The table's per-method limits on top of the svc defaults.  The direct
+/// and lavagno sub-solve caps are tighter than mps_synth's (a survey over
+/// 23 benchmarks, not one user run), so these rows get their own cache
+/// digests — a table1 cache never collides with daemon entries.
+svc::RequestOptions table_request_options(const std::string& method) {
+  svc::RequestOptions ropts = svc::default_request_options(method);
+  ropts.threads = 1;  // row-level parallelism only; keeps cpu columns comparable
+  ropts.direct.solve.max_backtracks = 5000000;
+  ropts.direct.solve.time_limit_s = 60.0;
+  ropts.lavagno.solve.max_backtracks = 2000000;
+  ropts.lavagno.solve.time_limit_s = 20.0;
+  ropts.lavagno.time_limit_s = 300.0;
+  return ropts;
+}
+
+/// Run one (benchmark, method) cell, through the result cache when one is
+/// given.  The quality columns of a cache hit are bit-identical to a fresh
+/// run by construction: they are read back from the serialized artifact the
+/// fresh run produced.  Only `seconds` is historical (the cold run's time).
+svc::Artifact run_method(const stg::Stg& spec, const std::string& method, svc::Cache* cache) {
+  const svc::RequestOptions ropts = table_request_options(method);
+  if (cache == nullptr) return svc::run_synthesis(spec, ropts);
+  const std::string digest = svc::request_digest(spec, ropts);
+  if (auto payload = cache->get(digest); payload.has_value()) {
+    if (auto cached = svc::Artifact::deserialize(*payload); cached.has_value()) {
+      return *std::move(cached);
+    }
+  }
+  svc::Artifact a = svc::run_synthesis(spec, ropts);
+  cache->put(digest, a.serialize());
+  return a;
+}
+
+BenchResult run_benchmark(const benchmarks::Benchmark& b, svc::Cache* cache) {
   BenchResult out;
-  const auto g = sg::StateGraph::from_stg(b.make());
+  const stg::Stg spec = b.make();
 
-  core::SynthesisOptions mopts;
-  mopts.num_threads = 1;  // row-level parallelism only; keeps cpu columns comparable
-  const auto m = core::modular_synthesis(g, mopts);
-
-  baseline::DirectOptions vopts;
-  vopts.solve.max_backtracks = 5000000;
-  vopts.solve.time_limit_s = 60.0;
-  const auto v = baseline::direct_synthesis(g, vopts);
-
-  baseline::LavagnoOptions lopts;
-  lopts.solve.max_backtracks = 2000000;
-  lopts.solve.time_limit_s = 20.0;
-  lopts.time_limit_s = 300.0;
-  const auto l = baseline::lavagno_synthesis(g, lopts);
+  const svc::Artifact m = run_method(spec, "modular", cache);
+  const svc::Artifact v = run_method(spec, "direct", cache);
+  const svc::Artifact l = run_method(spec, "lavagno", cache);
 
   Row& ours = out.ours;
   ours.name = b.name;
-  ours.init_states = num(g.num_states());
-  ours.init_sigs = num(g.num_signals());
+  ours.init_states = num(m.initial_states);
+  ours.init_sigs = num(m.initial_signals);
   if (m.success) {
     ours.m_states = num(m.final_states);
     ours.m_sigs = num(m.final_signals);
-    ours.m_area = num(m.total_literals);
+    ours.m_area = num(m.literals);
     ours.m_cpu = secs(m.seconds);
   } else {
     ours.m_states = ours.m_sigs = ours.m_area = "-";
@@ -119,7 +131,7 @@ BenchResult run_benchmark(const benchmarks::Benchmark& b) {
   if (v.success) {
     ours.v_states = num(v.final_states);
     ours.v_sigs = num(v.final_signals);
-    ours.v_area = num(v.total_literals);
+    ours.v_area = num(v.literals);
     ours.v_cpu = secs(v.seconds);
   } else {
     ours.v_states = ours.v_sigs = ours.v_area = "-";
@@ -127,7 +139,7 @@ BenchResult run_benchmark(const benchmarks::Benchmark& b) {
   }
   if (l.success) {
     ours.l_sigs = num(l.final_signals);
-    ours.l_area = num(l.total_literals);
+    ours.l_area = num(l.literals);
     ours.l_cpu = secs(l.seconds);
   } else {
     ours.l_sigs = ours.l_area = "-";
@@ -163,24 +175,21 @@ BenchResult run_benchmark(const benchmarks::Benchmark& b) {
   out.m_ok = m.success;
   out.v_ok = v.success;
   out.l_ok = l.success;
-  out.m_area = m.total_literals;
-  out.v_area = v.total_literals;
-  out.l_area = l.total_literals;
+  out.m_area = m.literals;
+  out.v_area = v.literals;
+  out.l_area = l.literals;
   out.m_secs = m.seconds;
   out.v_secs = v.seconds;
   out.l_secs = l.seconds;
 
-  const auto [m_gates, m_tx] = gate_counts(m);
-  const auto [v_gates, v_tx] = gate_counts(v);
-  const auto [l_gates, l_tx] = gate_counts(l);
-  out.json[0] = {"modular", m.final_states, m.final_signals, m.total_literals,
-                 m_gates, m_tx, m.success ? "ok" : "FAIL", m.solver_totals, m.seconds};
-  out.json[1] = {"direct", v.final_states, v.final_signals, v.total_literals,
-                 v_gates, v_tx, v.success ? "ok" : (v.hit_limit ? "LIMIT" : "FAIL"),
-                 v.solver_totals, v.seconds};
-  out.json[2] = {"lavagno", l.final_states, l.final_signals, l.total_literals,
-                 l_gates, l_tx, l.success ? "ok" : (l.hit_limit ? "LIMIT" : "FAIL"),
-                 l.solver_totals, l.seconds};
+  out.json[0] = {"modular", m.final_states, m.final_signals, m.literals,
+                 m.gates, m.transistors, m.success ? "ok" : "FAIL", m.solver, m.seconds};
+  out.json[1] = {"direct", v.final_states, v.final_signals, v.literals,
+                 v.gates, v.transistors,
+                 v.success ? "ok" : (v.hit_limit ? "LIMIT" : "FAIL"), v.solver, v.seconds};
+  out.json[2] = {"lavagno", l.final_states, l.final_signals, l.literals,
+                 l.gates, l.transistors,
+                 l.success ? "ok" : (l.hit_limit ? "LIMIT" : "FAIL"), l.solver, l.seconds};
   return out;
 }
 
@@ -245,15 +254,24 @@ void write_json(const char* path, const std::vector<benchmarks::Benchmark>& benc
 int main(int argc, char** argv) {
   unsigned threads = util::ThreadPool::hardware_threads();
   const char* json_path = nullptr;
+  const char* cache_dir = nullptr;
   for (int i = 1; i < argc; ++i) {
     if ((std::strcmp(argv[i], "--threads") == 0 || std::strcmp(argv[i], "-j") == 0) &&
         i + 1 < argc) {
-      threads = static_cast<unsigned>(std::atoi(argv[++i]));
-      if (threads == 0) threads = 1;
+      const auto n = util::parse_int(argv[++i], 1, 1 << 16);
+      if (!n.has_value()) {
+        std::fprintf(stderr, "error: --threads expects a positive integer, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      threads = static_cast<unsigned>(*n);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--cache-dir") == 0 && i + 1 < argc) {
+      cache_dir = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--threads N] [--json PATH]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--threads N] [--json PATH] [--cache-dir DIR]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -261,10 +279,17 @@ int main(int argc, char** argv) {
   const auto& benches = benchmarks::table1_benchmarks();
   std::vector<BenchResult> results(benches.size());
 
+  std::unique_ptr<svc::Cache> cache;
+  if (cache_dir != nullptr) {
+    svc::CacheOptions copts;
+    copts.dir = cache_dir;
+    cache = std::make_unique<svc::Cache>(copts);
+  }
+
   util::Timer total;
   util::ThreadPool pool(threads);
   pool.parallel_for(benches.size(),
-                    [&](std::size_t i) { results[i] = run_benchmark(benches[i]); });
+                    [&](std::size_t i) { results[i] = run_benchmark(benches[i], cache.get()); });
   const double wall = total.seconds();
 
   std::printf("Table 1 — modular partitioning vs direct SAT vs monolithic insertion\n");
@@ -331,6 +356,14 @@ int main(int argc, char** argv) {
   }
   std::printf("\nTotal: %.2fs wall on %u thread(s) (%.2fs of per-method cpu time)\n", wall,
               pool.num_threads(), cpu_total);
+  if (cache != nullptr) {
+    const svc::CacheStats cs = cache->stats();
+    const std::size_t hits = cs.mem_hits + cs.disk_hits;
+    const std::size_t lookups = hits + cs.misses;
+    std::printf("Cache: %zu/%zu hits (%.0f%%), %zu misses, %zu corrupt, dir=%s\n", hits,
+                lookups, lookups == 0 ? 0.0 : 100.0 * static_cast<double>(hits) / lookups,
+                cs.misses, cs.corrupt, cache_dir);
+  }
   std::printf("\nSee EXPERIMENTS.md for the row-by-row discussion.\n");
 
   if (json_path != nullptr) {

@@ -6,17 +6,20 @@
 //
 //   $ ./memory_controller [banks]        (default 3)
 #include <cstdio>
-#include <cstdlib>
 
 #include "mps.hpp"
 
 int main(int argc, char** argv) {
   using namespace mps;
 
-  const int banks = argc > 1 ? std::atoi(argv[1]) : 3;
-  if (banks < 1 || banks > 4) {
-    std::printf("banks must be 1..4\n");
-    return 1;
+  int banks = 3;
+  if (argc > 1) {
+    const auto n = util::parse_int(argv[1], 1, 4);
+    if (!n.has_value()) {
+      std::fprintf(stderr, "error: banks must be an integer in 1..4, got '%s'\n", argv[1]);
+      return 2;
+    }
+    banks = static_cast<int>(*n);
   }
 
   // Build the controller with the series/parallel fragment algebra.

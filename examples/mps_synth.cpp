@@ -9,6 +9,9 @@
 //                          the speed-independence verifier's verdict (with a
 //                          counterexample trace on failure)
 //     --dimacs <file>      export the direct CSC SAT instance
+//     --dump-g <file>      write the input specification back out as .g text
+//                          (materializes --bench specs for other tools, e.g.
+//                          feeding mps_client the same spec)
 //     --trace <file>       write a Chrome trace-event JSON of the run (load in
 //                          chrome://tracing or Perfetto; one lane per thread)
 //     --stats-json <file>  write aggregate span/counter statistics as JSON
@@ -38,8 +41,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: mps_synth <spec.g> [--method modular|direct|lavagno]\n"
                "                 [--out-pla <prefix>] [--out-verilog <file>]\n"
-               "                 [--check-circuit] [--dimacs <file>] [--quiet]\n"
-               "                 [--trace <file>] [--stats-json <file>] [--threads N]\n"
+               "                 [--check-circuit] [--dimacs <file>] [--dump-g <file>]\n"
+               "                 [--quiet] [--trace <file>] [--stats-json <file>]\n"
+               "                 [--threads N]\n"
                "       mps_synth --bench <name>   (use a built-in Table-1 benchmark)\n");
   return 2;
 }
@@ -60,6 +64,7 @@ int main(int argc, char** argv) {
   std::string pla_prefix;
   std::string verilog_path;
   std::string dimacs_path;
+  std::string dump_g_path;
   std::string trace_path;
   std::string stats_path;
   unsigned threads = 0;  // 0 = SynthesisOptions default (one per hardware thread)
@@ -91,6 +96,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       dimacs_path = v;
+    } else if (arg == "--dump-g") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      dump_g_path = v;
     } else if (arg == "--trace") {
       const char* v = next();
       if (v == nullptr) return usage();
@@ -102,12 +111,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       const char* v = next();
       if (v == nullptr) return usage();
-      const int n = std::atoi(v);
-      if (n <= 0) {
+      const auto n = util::parse_int(v, 1, 1 << 16);
+      if (!n.has_value()) {
         std::fprintf(stderr, "error: --threads expects a positive integer, got '%s'\n", v);
         return 2;
       }
-      threads = static_cast<unsigned>(n);
+      threads = static_cast<unsigned>(*n);
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -151,6 +160,7 @@ int main(int argc, char** argv) {
       std::printf("%s: %zu signals, %zu transitions, method=%s\n", spec.name().c_str(),
                   spec.num_signals(), spec.net().num_transitions(), method.c_str());
     }
+    if (!dump_g_path.empty()) write_file(dump_g_path, stg::write_g(spec));
 
     const sg::StateGraph g = sg::StateGraph::from_stg(spec);
     sg::StateGraph final_graph;
@@ -160,8 +170,12 @@ int main(int argc, char** argv) {
     bool ok = false;
     std::string failure;
 
+    // Per-method limits come from svc::default_request_options so this CLI
+    // and the mps_serve daemon cannot drift apart (the byte-identity
+    // contract tested by tests/check_protocol.cmake).
+    const svc::RequestOptions ropts = svc::default_request_options(method);
     if (method == "modular") {
-      core::SynthesisOptions opts;
+      core::SynthesisOptions opts = ropts.modular;
       if (threads != 0) opts.num_threads = threads;
       auto r = core::modular_synthesis(g, opts);
       ok = r.success;
@@ -171,10 +185,7 @@ int main(int argc, char** argv) {
       literals = r.total_literals;
       seconds = r.seconds;
     } else if (method == "direct") {
-      baseline::DirectOptions opts;
-      opts.solve.max_backtracks = 5'000'000;
-      opts.solve.time_limit_s = 120.0;
-      auto r = baseline::direct_synthesis(g, opts);
+      auto r = baseline::direct_synthesis(g, ropts.direct);
       ok = r.success;
       failure = r.failure_reason;
       final_graph = std::move(r.final_graph);
@@ -182,9 +193,7 @@ int main(int argc, char** argv) {
       literals = r.total_literals;
       seconds = r.seconds;
     } else {
-      baseline::LavagnoOptions opts;
-      opts.time_limit_s = 300.0;
-      auto r = baseline::lavagno_synthesis(g, opts);
+      auto r = baseline::lavagno_synthesis(g, ropts.lavagno);
       ok = r.success;
       failure = r.failure_reason;
       final_graph = std::move(r.final_graph);

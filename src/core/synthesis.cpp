@@ -9,6 +9,7 @@
 #include "sg/csc.hpp"
 #include "sg/projection.hpp"
 #include "util/common.hpp"
+#include "util/text.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mps::core {
@@ -139,14 +140,27 @@ SynthesisResult modular_synthesis(const sg::StateGraph& input, const SynthesisOp
 
   bool failed = false;
   for (int round = 1; round <= opts.max_rounds; ++round) {
+    // Deadline first: an already-expired request must fail fast even when
+    // the spec happens to be conflict-free (the service layer relies on
+    // this to bound per-request work).
+    if (opts.deadline != std::chrono::steady_clock::time_point{} &&
+        std::chrono::steady_clock::now() >= opts.deadline) {
+      result.failure_reason = "deadline exceeded";
+      failed = true;
+      break;
+    }
     if (sg::analyze_csc(g).satisfied()) break;
     result.rounds = round;
 
-    std::chrono::steady_clock::time_point deadline{};
+    std::chrono::steady_clock::time_point deadline = opts.deadline;
     if (opts.round_time_limit_s > 0) {
-      deadline = std::chrono::steady_clock::now() +
-                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                     std::chrono::duration<double>(opts.round_time_limit_s));
+      const auto round_deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(opts.round_time_limit_s));
+      if (deadline == std::chrono::steady_clock::time_point{} || round_deadline < deadline) {
+        deadline = round_deadline;
+      }
     }
 
     sg::Assignments assigns(g.num_states());
@@ -222,7 +236,9 @@ SynthesisResult modular_synthesis(const sg::StateGraph& input, const SynthesisOp
       report.output = "(rescue: complete graph)";
       report.round = round;
       report.module_states = g.num_states();
-      const bool ok = rescue_direct(g, opts.sat, &assigns, &report.formulas);
+      PartitionSatOptions rescue_opts = opts.sat;
+      rescue_opts.solve.deadline = deadline;
+      const bool ok = rescue_direct(g, rescue_opts, &assigns, &report.formulas);
       report.new_signals = assigns.num_signals();
       report.module_conflicts = sg::analyze_csc(g).conflicts.size();
       result.modules.push_back(std::move(report));
@@ -272,6 +288,30 @@ SynthesisResult modular_synthesis(const sg::StateGraph& input, const SynthesisOp
 
 SynthesisResult modular_synthesis(const stg::Stg& stg, const SynthesisOptions& opts) {
   return modular_synthesis(sg::StateGraph::from_stg(stg, opts.build), opts);
+}
+
+std::string options_fingerprint(const SynthesisOptions& opts) {
+  // One key=value token per result-affecting field, ';'-joined, with a
+  // leading version token.  Doubles are rendered with %.17g (round-trip
+  // exact), enums as their integer value.
+  return util::format(
+      "core-v1;order=%d;input_properness=%d;naive_max_m=%zu;enforce_usc=%d;"
+      "max_backtracks=%lld;solve_time_limit_s=%.17g;restart_interval=%lld;seed=%llu;"
+      "use_local_search=%d;use_bdd=%d;max_new_signals=%zu;seed_lower_bound=%d;"
+      "try_exact=%d;exact_max_vars=%zu;exact_max_primes=%zu;exact_max_branch_nodes=%lld;"
+      "heuristic_loops=%d;max_states=%zu;require_safe=%d;max_rounds=%d;derive_logic=%d;"
+      "round_time_limit_s=%.17g",
+      static_cast<int>(opts.input_set.order), opts.sat.encode.input_properness ? 1 : 0,
+      opts.sat.encode.naive_max_m, opts.sat.encode.enforce_usc ? 1 : 0,
+      static_cast<long long>(opts.sat.solve.max_backtracks), opts.sat.solve.time_limit_s,
+      static_cast<long long>(opts.sat.solve.restart_interval),
+      static_cast<unsigned long long>(opts.sat.solve.seed),
+      opts.sat.use_local_search ? 1 : 0, opts.sat.use_bdd ? 1 : 0, opts.sat.max_new_signals,
+      opts.sat.seed_lower_bound ? 1 : 0, opts.minimize.try_exact ? 1 : 0,
+      opts.minimize.exact_max_vars, opts.minimize.exact_max_primes,
+      static_cast<long long>(opts.minimize.exact_max_branch_nodes),
+      opts.minimize.heuristic_loops, opts.build.max_states, opts.build.require_safe ? 1 : 0,
+      opts.max_rounds, opts.derive_logic ? 1 : 0, opts.round_time_limit_s);
 }
 
 }  // namespace mps::core

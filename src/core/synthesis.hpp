@@ -6,6 +6,7 @@
 //   derive and minimize the next-state logic of every non-input signal.
 #pragma once
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -38,7 +39,24 @@ struct SynthesisOptions {
   /// backtrack cap (the rescue path / next round picks up the slack), but
   /// note that a deadline that fires makes results timing-dependent.
   double round_time_limit_s = 0.0;
+  /// Absolute wall-clock cutoff for the whole synthesis (svc:: per-request
+  /// deadlines map here); default-constructed = none.  Combines with
+  /// round_time_limit_s: every module solve gets the earlier of the two
+  /// deadlines, and a round that would start past the cutoff fails fast
+  /// with "deadline exceeded".  Like round_time_limit_s, a deadline that
+  /// fires makes results timing-dependent.
+  std::chrono::steady_clock::time_point deadline{};
 };
+
+/// Canonical text encoding of every result-affecting SynthesisOptions field
+/// (svc::Cache key material).  Excludes num_threads (results are
+/// bit-identical for any value by contract) and the absolute `deadline`
+/// time point — callers that admit per-request deadlines must fold the
+/// requested *budget* into their own key, since a deadline that fires
+/// changes results.  The relative round_time_limit_s budget is included.
+/// Bump the leading version token when a new result-affecting field is
+/// added.
+std::string options_fingerprint(const SynthesisOptions& opts);
 
 /// Per-output record of what the partitioning did (module sizes and the
 /// SAT formulas solved — the data behind the paper's mmu0 narrative).

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/common.hpp"
+#include "util/parse.hpp"
 #include "util/text.hpp"
 
 namespace mps::stg {
@@ -201,19 +202,13 @@ class GParser {
   /// string, fit in int, and be at least 1 (a zero or negative token count
   /// is meaningless).
   int parse_marking_count(const std::string& text) const {
-    std::size_t used = 0;
-    long v = 0;
-    try {
-      v = std::stol(text, &used);
-    } catch (const std::exception&) {
-      used = std::string::npos;  // empty or non-numeric
-    }
-    if (used != text.size() || v < 1 || v > std::numeric_limits<int>::max()) {
+    const auto v = util::parse_int(text, 1, std::numeric_limits<int>::max());
+    if (!v.has_value()) {
       throw util::ParseError("bad token count in .marking: '=" + text +
                                  "' (expected a positive integer)",
                              marking_line_);
     }
-    return static_cast<int>(v);
+    return static_cast<int>(*v);
   }
 
   /// Tokenize the marking body: "<a+,b->" is one token; "p1" and "p1=2" too.

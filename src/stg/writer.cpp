@@ -1,6 +1,8 @@
 #include "stg/writer.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 namespace mps::stg {
 
@@ -25,9 +27,7 @@ void write_signal_list(std::ostringstream& out, const Stg& stg, SignalKind kind,
   if (any) out << '\n';
 }
 
-}  // namespace
-
-std::string write_g(const Stg& stg) {
+std::string render(const Stg& stg, bool canonical) {
   std::ostringstream out;
   const auto& net = stg.net();
 
@@ -38,42 +38,56 @@ std::string write_g(const Stg& stg) {
   write_signal_list(out, stg, SignalKind::Dummy, ".dummy");
 
   out << ".graph\n";
+  std::vector<std::string> graph_lines;
   // Arcs out of transitions: either a direct arc (via an implicit place) or
   // transition -> explicit place.
   for (petri::TransId t = 0; t < net.num_transitions(); ++t) {
     std::ostringstream line;
     bool any = false;
+    std::vector<std::string> targets;
     for (petri::PlaceId p : net.trans_post(t)) {
       if (is_implicit(stg, p)) {
-        line << ' ' << stg.transition_name(net.place_post(p)[0]);
+        targets.push_back(stg.transition_name(net.place_post(p)[0]));
       } else {
-        line << ' ' << net.place_name(p);
+        targets.push_back(net.place_name(p));
       }
       any = true;
     }
-    if (any) out << stg.transition_name(t) << line.str() << '\n';
+    if (canonical) std::sort(targets.begin(), targets.end());
+    for (const std::string& target : targets) line << ' ' << target;
+    if (any) graph_lines.push_back(stg.transition_name(t) + line.str());
   }
   // Arcs out of explicit places.
   for (petri::PlaceId p = 0; p < net.num_places(); ++p) {
     if (is_implicit(stg, p) || net.place_post(p).empty()) continue;
-    out << net.place_name(p);
-    for (petri::TransId t : net.place_post(p)) out << ' ' << stg.transition_name(t);
-    out << '\n';
+    std::ostringstream line;
+    line << net.place_name(p);
+    std::vector<std::string> targets;
+    for (petri::TransId t : net.place_post(p)) targets.push_back(stg.transition_name(t));
+    if (canonical) std::sort(targets.begin(), targets.end());
+    for (const std::string& target : targets) line << ' ' << target;
+    graph_lines.push_back(line.str());
   }
+  if (canonical) std::sort(graph_lines.begin(), graph_lines.end());
+  for (const std::string& line : graph_lines) out << line << '\n';
 
   out << ".marking {";
   const auto& m = stg.initial_marking();
+  std::vector<std::string> marking_tokens;
   for (petri::PlaceId p = 0; p < net.num_places(); ++p) {
     if (m.tokens(p) == 0) continue;
-    out << ' ';
+    std::ostringstream tok;
     if (is_implicit(stg, p)) {
-      out << '<' << stg.transition_name(net.place_pre(p)[0]) << ','
+      tok << '<' << stg.transition_name(net.place_pre(p)[0]) << ','
           << stg.transition_name(net.place_post(p)[0]) << '>';
     } else {
-      out << net.place_name(p);
+      tok << net.place_name(p);
     }
-    if (m.tokens(p) > 1) out << '=' << int{m.tokens(p)};
+    if (m.tokens(p) > 1) tok << '=' << int{m.tokens(p)};
+    marking_tokens.push_back(tok.str());
   }
+  if (canonical) std::sort(marking_tokens.begin(), marking_tokens.end());
+  for (const std::string& tok : marking_tokens) out << ' ' << tok;
   out << " }\n";
 
   bool any_initial = false;
@@ -89,5 +103,11 @@ std::string write_g(const Stg& stg) {
   out << ".end\n";
   return out.str();
 }
+
+}  // namespace
+
+std::string write_g(const Stg& stg) { return render(stg, /*canonical=*/false); }
+
+std::string write_g_canonical(const Stg& stg) { return render(stg, /*canonical=*/true); }
 
 }  // namespace mps::stg

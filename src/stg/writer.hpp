@@ -13,4 +13,14 @@ namespace mps::stg {
 /// transition-to-transition arcs; all other places are explicit.
 std::string write_g(const Stg& stg);
 
+/// Canonical rendering for content addressing (svc::Cache keys): write_g
+/// with the .graph section's lines and the .marking tokens sorted
+/// lexicographically, so the text is invariant under the arc-line order of
+/// the input that produced `stg` (plain write_g emits arcs in first-seen
+/// parse order — stable only for an unchanged input file).  Signal
+/// declaration order is semantically meaningful (it fixes signal ids and
+/// hence cover/output order), so the .inputs/.outputs/.internal/.dummy and
+/// .initial lines are NOT reordered.
+std::string write_g_canonical(const Stg& stg);
+
 }  // namespace mps::stg

@@ -1,0 +1,114 @@
+#include "svc/client.hpp"
+
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/common.hpp"
+#include "util/text.hpp"
+
+namespace mps::svc {
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    throw util::Error(util::format("svc: bad socket path: '%s'", socket_path.c_str()));
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw util::Error(util::format("svc: socket: %s", std::strerror(errno)));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw util::Error(
+        util::format("svc: connect(%s): %s", socket_path.c_str(), std::strerror(err)));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Json Client::request(const Json& req) {
+  MPS_ASSERT(fd_ >= 0);  // request on closed client
+  std::string line = req.dump();
+  line.push_back('\n');
+  const char* data = line.data();
+  std::size_t len = line.size();
+  while (len > 0) {
+    const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw util::Error(util::format("svc: send: %s", std::strerror(errno)));
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string response = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return Json::parse(response);
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw util::Error(util::format("svc: recv: %s", std::strerror(errno)));
+    }
+    if (n == 0) throw util::Error("svc: connection closed by daemon before response");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Json Client::ping() {
+  Json j = Json::object();
+  j.set("op", "ping");
+  return request(j);
+}
+
+Json Client::stats() {
+  Json j = Json::object();
+  j.set("op", "stats");
+  return request(j);
+}
+
+Json Client::drain() {
+  Json j = Json::object();
+  j.set("op", "drain");
+  return request(j);
+}
+
+Json Client::synth(const std::string& g_text, const std::string& method, unsigned threads,
+                   double deadline_s) {
+  Json j = Json::object();
+  j.set("op", "synth");
+  j.set("g", g_text);
+  j.set("method", method);
+  j.set("threads", Json(static_cast<std::int64_t>(threads)));
+  if (deadline_s > 0.0) j.set("deadline_s", Json(deadline_s));
+  return request(j);
+}
+
+}  // namespace mps::svc

@@ -1,0 +1,40 @@
+// svc::Client — blocking Unix-domain-socket client for the mps_serve
+// protocol: one JSON object per request line, one per response line.
+// Used by examples/mps_client and the concurrency tests.
+#pragma once
+
+#include <string>
+
+#include "svc/json.hpp"
+
+namespace mps::svc {
+
+class Client {
+ public:
+  /// Connect to the daemon's socket.  Throws util::Error on failure.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Send one request and block for its response line.  Throws util::Error
+  /// on I/O failure or EOF (daemon gone); protocol-level errors come back
+  /// as {"ok":false,...} objects, not exceptions.
+  Json request(const Json& req);
+
+  /// Convenience wrappers over request().
+  Json ping();
+  Json stats();
+  Json drain();
+  Json synth(const std::string& g_text, const std::string& method,
+             unsigned threads = 1, double deadline_s = 0.0);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last response line
+};
+
+}  // namespace mps::svc

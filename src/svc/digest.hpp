@@ -1,0 +1,33 @@
+// SHA-256 (FIPS 180-4), hand-rolled: the content-addressed cache needs a
+// collision-resistant digest and the container bakes in no crypto library.
+// Correctness is pinned against the FIPS test vectors in tests/svc_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mps::svc {
+
+/// 64-character lowercase hex SHA-256 of `data`.
+std::string sha256_hex(std::string_view data);
+
+/// Incremental variant for digesting several segments without
+/// concatenating: update() any number of times, then hex_digest() once.
+class Sha256 {
+ public:
+  Sha256();
+  void update(std::string_view data);
+  /// Finalizes; the object must not be update()d afterwards.
+  std::string hex_digest();
+
+ private:
+  void process_block(const unsigned char* block);
+
+  std::uint32_t state_[8];
+  std::uint64_t total_bytes_ = 0;
+  unsigned char buffer_[64];
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace mps::svc

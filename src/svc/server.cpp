@@ -1,0 +1,228 @@
+#include "svc/server.hpp"
+
+#include <csignal>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/obs.hpp"
+#include "util/common.hpp"
+#include "util/text.hpp"
+
+namespace mps::svc {
+
+namespace {
+
+// SIGTERM/SIGINT handlers can only touch async-signal-safe state: the
+// handler write()s one byte to the instance's wake pipe and sets nothing
+// else; all real drain work happens on the accept thread.
+Server* g_signal_server = nullptr;
+int g_signal_wake_fd = -1;
+
+void handle_term_signal(int) {
+  if (g_signal_wake_fd >= 0) {
+    const char b = 'T';
+    [[maybe_unused]] ssize_t n = ::write(g_signal_wake_fd, &b, 1);
+  }
+}
+
+/// write() the whole buffer, retrying on EINTR / short writes.
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& opts) : opts_(opts), service_(opts.service) {}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (int fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+  if (g_signal_server == this) {
+    g_signal_server = nullptr;
+    g_signal_wake_fd = -1;
+  }
+  for (auto& t : connections_) {
+    if (t.joinable()) t.join();
+  }
+  if (!opts_.socket_path.empty()) ::unlink(opts_.socket_path.c_str());
+}
+
+void Server::start() {
+  MPS_ASSERT(listen_fd_ < 0);  // Server::start called twice
+  if (opts_.socket_path.empty()) throw util::Error("svc: empty socket path");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opts_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw util::Error(util::format("svc: socket path too long (%zu bytes, max %zu): %s",
+                                   opts_.socket_path.size(), sizeof(addr.sun_path) - 1,
+                                   opts_.socket_path.c_str()));
+  }
+  std::memcpy(addr.sun_path, opts_.socket_path.c_str(), opts_.socket_path.size() + 1);
+
+  if (::pipe(wake_pipe_) != 0) {
+    throw util::Error(util::format("svc: pipe: %s", std::strerror(errno)));
+  }
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw util::Error(util::format("svc: socket: %s", std::strerror(errno)));
+  }
+  // A stale socket file from a crashed daemon would make bind fail; replace it.
+  ::unlink(opts_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw util::Error(
+        util::format("svc: bind(%s): %s", opts_.socket_path.c_str(), std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    throw util::Error(
+        util::format("svc: listen(%s): %s", opts_.socket_path.c_str(), std::strerror(errno)));
+  }
+}
+
+void Server::install_signal_handlers() {
+  MPS_ASSERT(wake_pipe_[1] >= 0);  // install_signal_handlers before start
+  g_signal_server = this;
+  g_signal_wake_fd = wake_pipe_[1];
+  struct sigaction sa{};
+  sa.sa_handler = handle_term_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  // A client vanishing mid-response must not kill the daemon.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+void Server::request_drain() {
+  draining_.store(true);
+  if (wake_pipe_[1] >= 0) {
+    const char b = 'D';
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+  }
+}
+
+void Server::run() {
+  MPS_ASSERT(listen_fd_ >= 0);  // Server::run before start
+  obs::Span span("svc.server.run");
+
+  while (!draining_.load()) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw util::Error(util::format("svc: poll: %s", std::strerror(errno)));
+    }
+    if (fds[1].revents != 0) {
+      char buf[16];
+      [[maybe_unused]] ssize_t n = ::read(wake_pipe_[0], buf, sizeof(buf));
+      draining_.store(true);
+      break;
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int conn = ::accept(listen_fd_, nullptr, nullptr);
+      if (conn < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        throw util::Error(util::format("svc: accept: %s", std::strerror(errno)));
+      }
+      obs::counter_add("svc.server.connections", 1);
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      connections_.emplace_back([this, conn] { connection_loop(conn); });
+    }
+  }
+
+  // Drain: stop accepting immediately, then let every connection thread
+  // finish the requests it already read (the scheduler completes all
+  // admitted jobs, so blocked waiters get their responses).
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (;;) {
+    std::vector<std::thread> batch;
+    {
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      batch.swap(connections_);
+    }
+    if (batch.empty()) break;
+    for (auto& t : batch) t.join();
+  }
+  service_.drain();
+}
+
+void Server::connection_loop(int fd) {
+  obs::set_thread_name("svc-conn");
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+
+  // Process every complete line currently in `buffer`; returns false if a
+  // write failed (peer gone).
+  auto process_buffered = [&]() -> bool {
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      std::string response = service_.handle_line(line);
+      response.push_back('\n');
+      if (!write_all(fd, response.data(), response.size())) return false;
+      if (service_.drain_requested()) request_drain();
+    }
+    buffer.erase(0, start);
+    return true;
+  };
+
+  while (open) {
+    // Poll with a short timeout so the thread notices a drain that was
+    // triggered elsewhere (signal, another connection's drain request).
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc > 0 && (pfd.revents & (POLLIN | POLLHUP)) != 0) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;  // EOF or error: peer closed
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      if (!process_buffered()) break;
+    }
+    if (draining_.load()) {
+      // Final scoop: answer any requests whose lines already arrived, then
+      // close.  New data after this point is the client's race to lose.
+      pollfd last{fd, POLLIN, 0};
+      while (::poll(&last, 1, 0) > 0 && (last.revents & POLLIN) != 0) {
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n <= 0) break;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+      }
+      process_buffered();
+      open = false;
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace mps::svc

@@ -1,0 +1,75 @@
+// svc::Server — a Unix-domain-socket daemon around svc::Service.
+//
+// One accept loop (poll on the listen socket plus a self-pipe wake fd), one
+// thread per connection reading newline-delimited JSON requests and writing
+// one response line per request.  POSIX sockets only, no framework.
+//
+// Graceful drain (SIGTERM, or a {"op":"drain"} request):
+//   1. stop accepting — the listen socket closes immediately;
+//   2. connection threads stop reading *new* requests, but every request
+//      whose line was already received is processed and answered (the
+//      scheduler runs every admitted job to completion — no accepted
+//      request ever loses its response);
+//   3. run() returns once all connections closed and the queue is empty;
+//      the daemon then exits 0.
+// A client blocked waiting for a response keeps its connection until that
+// response is written; an idle client is disconnected (EOF) right away.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/service.hpp"
+
+namespace mps::svc {
+
+struct ServerOptions {
+  std::string socket_path;
+  ServiceOptions service;
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen on the socket path (an existing socket file is replaced).
+  /// Throws util::Error on failure.  Separate from run() so callers can
+  /// report "listening" before blocking.
+  void start();
+
+  /// Accept and serve until a drain is requested, then shut down gracefully
+  /// (see file comment) and return.  Call start() first.
+  void run();
+
+  /// Trigger a graceful drain from another thread.  Also what the SIGTERM
+  /// handler invokes via the self-pipe (the handler itself only write()s).
+  void request_drain();
+
+  /// Route SIGTERM and SIGINT to request_drain() for this instance (at most
+  /// one instance per process may install handlers).
+  void install_signal_handlers();
+
+  Service& service() { return service_; }
+  const std::string& socket_path() const { return opts_.socket_path; }
+
+ private:
+  void connection_loop(int fd);
+
+  ServerOptions opts_;
+  Service service_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> draining_{false};
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace mps::svc

@@ -1,0 +1,169 @@
+#include "svc/service.hpp"
+
+#include "obs/obs.hpp"
+#include "stg/parser.hpp"
+#include "svc/artifact.hpp"
+#include "svc/json.hpp"
+#include "util/common.hpp"
+
+namespace mps::svc {
+
+namespace {
+
+std::string error_response(const std::string& op, const std::string& kind,
+                           const std::string& message) {
+  Json j = Json::object();
+  j.set("ok", Json(false));
+  j.set("op", op);
+  j.set("kind", kind);
+  j.set("error", message);
+  return j.dump();
+}
+
+Json scheduler_stats_json(const SchedulerStats& s, std::size_t queue_cap) {
+  Json j = Json::object();
+  j.set("submitted", Json(s.submitted));
+  j.set("joined", Json(s.joined));
+  j.set("rejected", Json(s.rejected));
+  j.set("completed", Json(s.completed));
+  j.set("queue_depth", Json(s.queue_depth));
+  j.set("running", Json(s.running));
+  j.set("queue_cap", queue_cap);
+  return j;
+}
+
+Json cache_stats_json(const CacheStats& s) {
+  Json j = Json::object();
+  j.set("mem_hits", Json(s.mem_hits));
+  j.set("disk_hits", Json(s.disk_hits));
+  j.set("misses", Json(s.misses));
+  j.set("puts", Json(s.puts));
+  j.set("evictions", Json(s.evictions));
+  j.set("corrupt", Json(s.corrupt));
+  j.set("entries_mem", Json(s.entries_mem));
+  return j;
+}
+
+}  // namespace
+
+Service::Service(const ServiceOptions& opts)
+    : opts_(opts), cache_(opts.cache), sched_(opts.sched) {}
+
+std::string Service::handle_line(const std::string& line) {
+  obs::Span span("svc.request");
+  obs::counter_add("svc.requests", 1);
+  Json req;
+  try {
+    req = Json::parse(line);
+  } catch (const util::Error& e) {
+    return error_response("", "bad_request", e.what());
+  }
+  if (!req.is_object()) return error_response("", "bad_request", "request must be an object");
+  const std::string op = req.get_string("op", "");
+
+  try {
+    if (op == "ping") {
+      Json j = Json::object();
+      j.set("ok", Json(true));
+      j.set("op", "ping");
+      return j.dump();
+    }
+    if (op == "synth") return handle_synth(req);
+    if (op == "stats") return handle_stats();
+    if (op == "drain") {
+      drain_requested_.store(true);
+      Json j = Json::object();
+      j.set("ok", Json(true));
+      j.set("op", "drain");
+      return j.dump();
+    }
+    return error_response(op, "bad_request", "unknown op: '" + op + "'");
+  } catch (const std::exception& e) {
+    return error_response(op, "internal", e.what());
+  }
+}
+
+std::string Service::handle_synth(const Json& req) {
+  obs::Span span("svc.synth_request");
+  synth_requests_.fetch_add(1);
+
+  const Json* g_text = req.find("g");
+  if (g_text == nullptr || !g_text->is_string()) {
+    return error_response("synth", "bad_request", "missing string field 'g'");
+  }
+  const std::string method = req.get_string("method", "modular");
+  if (method != "modular" && method != "direct" && method != "lavagno") {
+    return error_response("synth", "bad_request",
+                          "unknown method: '" + method + "' (expected modular|direct|lavagno)");
+  }
+
+  stg::Stg spec;
+  try {
+    spec = stg::parse_g(g_text->as_string());
+  } catch (const util::Error& e) {
+    return error_response("synth", "parse", e.what());
+  }
+
+  RequestOptions ropts = default_request_options(method);
+  ropts.threads = static_cast<unsigned>(req.get_int("threads", 1));
+  ropts.deadline_s = req.get_double("deadline_s", 0.0);
+  const std::string digest = request_digest(spec, ropts);
+  span.arg("threads", ropts.threads);
+
+  auto respond = [&](const std::string& payload, bool cached) -> std::string {
+    Json artifact;
+    try {
+      artifact = Json::parse(payload);
+    } catch (const util::Error& e) {
+      return error_response("synth", "internal",
+                            std::string("artifact serialization: ") + e.what());
+    }
+    if (cached) cached_responses_.fetch_add(1);
+    Json j = Json::object();
+    j.set("ok", Json(true));
+    j.set("op", "synth");
+    j.set("cached", Json(cached));
+    j.set("digest", digest);
+    j.set("artifact", std::move(artifact));
+    return j.dump();
+  };
+
+  if (auto payload = cache_.get(digest); payload.has_value()) {
+    return respond(*payload, /*cached=*/true);
+  }
+
+  auto [admit, ticket] = sched_.submit(digest, [this, spec, ropts, digest] {
+    Scheduler::Result result;
+    result.payload = run_synthesis(spec, ropts).serialize();
+    cache_.put(digest, result.payload);
+    return result;
+  });
+  if (admit == Scheduler::Admit::Overloaded) {
+    return error_response("synth", "overloaded",
+                          "queue full or draining; retry later");
+  }
+  const Scheduler::Result& result = ticket.wait();
+  if (!result.ok()) return error_response("synth", "internal", result.error);
+  return respond(result.payload, /*cached=*/false);
+}
+
+std::string Service::handle_stats() {
+  Json j = Json::object();
+  j.set("ok", Json(true));
+  j.set("op", "stats");
+  j.set("cache", cache_stats_json(cache_.stats()));
+  j.set("scheduler", scheduler_stats_json(sched_.stats(), opts_.sched.queue_cap));
+  j.set("synth_requests", Json(synth_requests_.load()));
+  j.set("cached_responses", Json(cached_responses_.load()));
+  Json counters = Json::object();
+  for (const char* name :
+       {"svc.requests", "svc.cache.hit.mem", "svc.cache.hit.disk", "svc.cache.miss",
+        "svc.cache.put", "svc.queue.submitted", "svc.queue.rejected",
+        "svc.singleflight.joined"}) {
+    counters.set(name, Json(obs::counter_value(name)));
+  }
+  j.set("counters", std::move(counters));
+  return j.dump();
+}
+
+}  // namespace mps::svc

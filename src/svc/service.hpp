@@ -1,0 +1,67 @@
+// svc::Service — the transport-independent request handler: one JSON line
+// in, one JSON line out.  The Unix-socket server (svc/server.hpp) and the
+// in-process tests both speak to this class, so the protocol is testable
+// without sockets.
+//
+// Protocol (newline-delimited JSON; one object per line; see DESIGN.md §10
+// for the grammar):
+//   {"op":"ping"}                       -> {"ok":true,"op":"ping"}
+//   {"op":"synth","g":"<.g text>",      -> {"ok":true,"op":"synth","cached":B,
+//    "method":"modular","threads":N,        "digest":"<64 hex>",
+//    "deadline_s":S}                        "artifact":{...}}   (svc::Artifact)
+//   {"op":"stats"}                      -> {"ok":true,"op":"stats",...}
+//   {"op":"drain"}                      -> {"ok":true,"op":"drain"}  + drain flag
+// Error responses: {"ok":false,"op":"<op>","kind":"<k>","error":"<msg>"}
+// with kind in {bad_request, parse, overloaded, internal}.  A synthesis
+// that *ran* but failed (CSC unresolved, deadline fired) is NOT a protocol
+// error: the response is ok:true with artifact.success=false, mirroring
+// mps_synth's exit-1-with-reason behaviour.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "svc/cache.hpp"
+#include "svc/scheduler.hpp"
+
+namespace mps::svc {
+
+struct ServiceOptions {
+  CacheOptions cache;
+  SchedulerOptions sched;
+};
+
+class Service {
+ public:
+  explicit Service(const ServiceOptions& opts);
+
+  /// Handle one request line (no trailing newline); always returns exactly
+  /// one response line (no trailing newline), never throws.  Safe to call
+  /// concurrently from any number of connection threads; a synth miss
+  /// blocks the calling thread until the scheduler ran the job.
+  std::string handle_line(const std::string& line);
+
+  /// True once a {"op":"drain"} request was handled; the transport is
+  /// expected to stop accepting and shut down (Server::run polls this).
+  bool drain_requested() const { return drain_requested_.load(); }
+
+  /// Stop admission and run every admitted job to completion.
+  void drain() { sched_.drain(); }
+
+  Cache& cache() { return cache_; }
+  Scheduler& scheduler() { return sched_; }
+
+ private:
+  std::string handle_synth(const class Json& req);
+  std::string handle_stats();
+
+  ServiceOptions opts_;
+  Cache cache_;
+  Scheduler sched_;
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<std::int64_t> synth_requests_{0};
+  std::atomic<std::int64_t> cached_responses_{0};
+};
+
+}  // namespace mps::svc

@@ -1,0 +1,35 @@
+#include "util/parse.hpp"
+
+#include <limits>
+
+namespace mps::util {
+
+std::optional<std::int64_t> parse_int(std::string_view text, std::int64_t min,
+                                      std::int64_t max) {
+  if (text.empty()) return std::nullopt;
+  std::size_t i = 0;
+  const bool negative = text[0] == '-';
+  if (negative) {
+    if (text.size() == 1) return std::nullopt;
+    i = 1;
+  }
+  // Accumulate negated: INT64_MIN has no positive counterpart.
+  std::int64_t value = 0;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::int64_t digit = c - '0';
+    if (value < (std::numeric_limits<std::int64_t>::min() + digit) / 10) {
+      return std::nullopt;  // would overflow
+    }
+    value = value * 10 - digit;
+  }
+  if (!negative) {
+    if (value == std::numeric_limits<std::int64_t>::min()) return std::nullopt;
+    value = -value;
+  }
+  if (value < min || value > max) return std::nullopt;
+  return value;
+}
+
+}  // namespace mps::util

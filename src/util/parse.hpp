@@ -1,0 +1,23 @@
+// Checked number parsing, shared by the .g parser and every CLI flag.
+//
+// std::atoi / std::stoi either ignore trailing junk ("4x" -> 4) or throw a
+// bare std::invalid_argument with no context; both have produced real bugs
+// here (see CHANGES.md, PR 4).  parse_int is the one checked entry point:
+// the whole string must be a decimal integer inside the caller's range, or
+// the caller gets nullopt and reports the error with its own context.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace mps::util {
+
+/// Parse all of `text` as a decimal integer (optional leading '-') in
+/// [min, max].  nullopt on empty input, trailing characters, overflow, or a
+/// value outside the range.  No locale, no whitespace skipping: "3 " and
+/// " 3" both fail — CLI tokens and .g tokens arrive pre-trimmed.
+std::optional<std::int64_t> parse_int(std::string_view text, std::int64_t min,
+                                      std::int64_t max);
+
+}  // namespace mps::util
