@@ -16,7 +16,11 @@
 // with num_threads = 1 so the printed per-row cpu columns stay comparable
 // with the paper's single-core measurements.  `--json PATH` additionally
 // writes a machine-readable report (one record per benchmark × method)
-// for the perf-regression harness; see BENCH_table1.json.  `--cache-dir D`
+// for the perf-regression harness; see BENCH_table1.json.  `--engine cdcl`
+// swaps every sub-solve onto the clause-learning engine (the run that
+// retires the LIMIT rows; committed as BENCH_table1_cdcl.json) while the
+// default dpll run stays bit-identical to the paper-faithful reference.
+// `--cache-dir D`
 // routes every (benchmark, method) cell through the svc::Cache result
 // cache: a warm re-run reads all rows back from disk (the printed cpu
 // columns then show the original cold-run times) and reports the hit rate.
@@ -59,7 +63,7 @@ struct JsonRow {
   std::size_t states = 0, signals = 0, literals = 0;
   std::size_t gates = 0, transistors = 0;  // complex-gate netlist (0 on failure)
   const char* outcome = "ok";  // "ok" | "LIMIT" | "FAIL"
-  sat::SolverTotals solver;    // DPLL effort behind this row (schema v3)
+  sat::SolverTotals solver;    // search effort behind this row (schema v3/v4)
   double seconds = 0.0;
 };
 
@@ -78,7 +82,7 @@ struct BenchResult {
 /// and lavagno sub-solve caps are tighter than mps_synth's (a survey over
 /// 23 benchmarks, not one user run), so these rows get their own cache
 /// digests — a table1 cache never collides with daemon entries.
-svc::RequestOptions table_request_options(const std::string& method) {
+svc::RequestOptions table_request_options(const std::string& method, sat::Engine engine) {
   svc::RequestOptions ropts = svc::default_request_options(method);
   ropts.threads = 1;  // row-level parallelism only; keeps cpu columns comparable
   ropts.direct.solve.max_backtracks = 5000000;
@@ -86,6 +90,7 @@ svc::RequestOptions table_request_options(const std::string& method) {
   ropts.lavagno.solve.max_backtracks = 2000000;
   ropts.lavagno.solve.time_limit_s = 20.0;
   ropts.lavagno.time_limit_s = 300.0;
+  svc::set_engine(&ropts, engine);  // part of every fingerprint: distinct cache digests
   return ropts;
 }
 
@@ -93,8 +98,9 @@ svc::RequestOptions table_request_options(const std::string& method) {
 /// given.  The quality columns of a cache hit are bit-identical to a fresh
 /// run by construction: they are read back from the serialized artifact the
 /// fresh run produced.  Only `seconds` is historical (the cold run's time).
-svc::Artifact run_method(const stg::Stg& spec, const std::string& method, svc::Cache* cache) {
-  const svc::RequestOptions ropts = table_request_options(method);
+svc::Artifact run_method(const stg::Stg& spec, const std::string& method, sat::Engine engine,
+                         svc::Cache* cache) {
+  const svc::RequestOptions ropts = table_request_options(method, engine);
   if (cache == nullptr) return svc::run_synthesis(spec, ropts);
   const std::string digest = svc::request_digest(spec, ropts);
   if (auto payload = cache->get(digest); payload.has_value()) {
@@ -107,13 +113,14 @@ svc::Artifact run_method(const stg::Stg& spec, const std::string& method, svc::C
   return a;
 }
 
-BenchResult run_benchmark(const benchmarks::Benchmark& b, svc::Cache* cache) {
+BenchResult run_benchmark(const benchmarks::Benchmark& b, sat::Engine engine,
+                          svc::Cache* cache) {
   BenchResult out;
   const stg::Stg spec = b.make();
 
-  const svc::Artifact m = run_method(spec, "modular", cache);
-  const svc::Artifact v = run_method(spec, "direct", cache);
-  const svc::Artifact l = run_method(spec, "lavagno", cache);
+  const svc::Artifact m = run_method(spec, "modular", engine, cache);
+  const svc::Artifact v = run_method(spec, "direct", engine, cache);
+  const svc::Artifact l = run_method(spec, "lavagno", engine, cache);
 
   Row& ours = out.ours;
   ours.name = b.name;
@@ -196,27 +203,29 @@ BenchResult run_benchmark(const benchmarks::Benchmark& b, svc::Cache* cache) {
 /// Machine-readable report for the perf-regression harness: one record per
 /// (benchmark, method) with the quality columns and wall time, plus totals.
 /// schema_version 2 added the per-row complex-gate netlist columns
-/// ("gates", "transistors"); schema_version 3 adds the per-row DPLL effort
-/// ("decisions", "propagations", "conflicts" — backtracks under the
-/// conventional name).  All earlier fields are unchanged.
+/// ("gates", "transistors"); schema_version 3 added the per-row solver
+/// effort ("decisions", "propagations", "conflicts"); schema_version 4
+/// adds the top-level "engine" and the per-row "restarts"/"learned"
+/// (both 0 under dpll).  All earlier fields are unchanged: a schema-3
+/// consumer reading only its own fields sees identical values.
 /// Compare two runs with a plain diff or jq query; the quality fields must
 /// never drift between commits, the seconds may — and so may the solver
 /// columns of LIMIT rows whose solve was cut off by wall-clock (the
 /// backtrack-capped and finishing rows are search-path-determined).
 /// BENCH_table1.json in the repository root is the committed reference run
-/// (`--threads 1`).
+/// (`--threads 1`); BENCH_table1_cdcl.json is the `--engine cdcl` run.
 void write_json(const char* path, const std::vector<benchmarks::Benchmark>& benches,
-                const std::vector<BenchResult>& results, unsigned threads, double wall,
-                double cpu_total) {
+                const std::vector<BenchResult>& results, sat::Engine engine, unsigned threads,
+                double wall, double cpu_total) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
     std::exit(1);
   }
   std::fprintf(f,
-               "{\n  \"benchmark\": \"table1\",\n  \"schema_version\": 3,\n"
-               "  \"threads\": %u,\n  \"rows\": [\n",
-               threads);
+               "{\n  \"benchmark\": \"table1\",\n  \"schema_version\": 4,\n"
+               "  \"engine\": \"%s\",\n  \"threads\": %u,\n  \"rows\": [\n",
+               sat::engine_name(engine), threads);
   for (std::size_t i = 0; i < results.size(); ++i) {
     for (std::size_t j = 0; j < 3; ++j) {
       const JsonRow& r = results[i].json[j];
@@ -225,12 +234,15 @@ void write_json(const char* path, const std::vector<benchmarks::Benchmark>& benc
                    "\"signals\": %zu, \"literals\": %zu, \"gates\": %zu, "
                    "\"transistors\": %zu, \"outcome\": \"%s\", "
                    "\"decisions\": %lld, \"propagations\": %lld, \"conflicts\": %lld, "
+                   "\"restarts\": %lld, \"learned\": %lld, "
                    "\"seconds\": %.3f}%s\n",
                    benches[i].name.c_str(), r.method, r.states, r.signals, r.literals,
                    r.gates, r.transistors, r.outcome,
                    static_cast<long long>(r.solver.decisions),
                    static_cast<long long>(r.solver.propagations),
                    static_cast<long long>(r.solver.conflicts),
+                   static_cast<long long>(r.solver.restarts),
+                   static_cast<long long>(r.solver.learned),
                    r.seconds, (i + 1 == results.size() && j == 2) ? "" : ",");
     }
   }
@@ -255,6 +267,7 @@ int main(int argc, char** argv) {
   unsigned threads = util::ThreadPool::hardware_threads();
   const char* json_path = nullptr;
   const char* cache_dir = nullptr;
+  sat::Engine engine = sat::Engine::Dpll;
   for (int i = 1; i < argc; ++i) {
     if ((std::strcmp(argv[i], "--threads") == 0 || std::strcmp(argv[i], "-j") == 0) &&
         i + 1 < argc) {
@@ -269,8 +282,17 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--cache-dir") == 0 && i + 1 < argc) {
       cache_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      const auto e = sat::engine_from_name(argv[++i]);
+      if (!e.has_value()) {
+        std::fprintf(stderr, "error: unknown --engine: '%s' (expected dpll|cdcl)\n", argv[i]);
+        return 2;
+      }
+      engine = *e;
     } else {
-      std::fprintf(stderr, "usage: %s [--threads N] [--json PATH] [--cache-dir DIR]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--engine dpll|cdcl] [--json PATH]"
+                   " [--cache-dir DIR]\n",
                    argv[0]);
       return 2;
     }
@@ -288,8 +310,9 @@ int main(int argc, char** argv) {
 
   util::Timer total;
   util::ThreadPool pool(threads);
-  pool.parallel_for(benches.size(),
-                    [&](std::size_t i) { results[i] = run_benchmark(benches[i], cache.get()); });
+  pool.parallel_for(benches.size(), [&](std::size_t i) {
+    results[i] = run_benchmark(benches[i], engine, cache.get());
+  });
   const double wall = total.seconds();
 
   std::printf("Table 1 — modular partitioning vs direct SAT vs monolithic insertion\n");
@@ -367,7 +390,7 @@ int main(int argc, char** argv) {
   std::printf("\nSee EXPERIMENTS.md for the row-by-row discussion.\n");
 
   if (json_path != nullptr) {
-    write_json(json_path, benches, results, pool.num_threads(), wall, cpu_total);
+    write_json(json_path, benches, results, engine, pool.num_threads(), wall, cpu_total);
     std::printf("Machine-readable report written to %s\n", json_path);
   }
   return 0;

@@ -1,7 +1,7 @@
 // mps_client: blocking client for the mps_serve daemon.
 //
 //   mps_client --socket S synth FILE.g [--method modular|direct|lavagno]
-//              [--threads N] [--deadline SECONDS]
+//              [--engine dpll|cdcl] [--threads N] [--deadline SECONDS]
 //              [--out-pla <prefix>] [--out-verilog <file>] [--quiet]
 //   mps_client --socket S ping
 //   mps_client --socket S stats
@@ -31,7 +31,7 @@ using namespace mps;
 int usage() {
   std::fprintf(stderr,
                "usage: mps_client --socket S synth FILE.g [--method modular|direct|lavagno]\n"
-               "                  [--threads N] [--deadline SECONDS]\n"
+               "                  [--engine dpll|cdcl] [--threads N] [--deadline SECONDS]\n"
                "                  [--out-pla <prefix>] [--out-verilog <file>] [--quiet]\n"
                "       mps_client --socket S ping|stats|drain\n");
   return 2;
@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
   std::string op;
   std::string spec_path;
   std::string method = "modular";
+  std::string engine;
   std::string pla_prefix;
   std::string verilog_path;
   unsigned threads = 1;
@@ -76,6 +77,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       method = v;
+    } else if (arg == "--engine") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      if (!sat::engine_from_name(v).has_value()) {
+        std::fprintf(stderr, "error: unknown --engine: '%s' (expected dpll|cdcl)\n", v);
+        return 2;
+      }
+      engine = v;
     } else if (arg == "--threads") {
       const char* v = next();
       if (v == nullptr) return usage();
@@ -145,7 +154,7 @@ int main(int argc, char** argv) {
                   spec.num_signals(), spec.net().num_transitions(), method.c_str());
     }
 
-    const svc::Json resp = client.synth(g_text, method, threads, deadline_s);
+    const svc::Json resp = client.synth(g_text, method, threads, deadline_s, engine);
     if (!resp.get_bool("ok", false)) {
       std::fprintf(stderr, "error: daemon: [%s] %s\n", resp.get_string("kind", "?").c_str(),
                    resp.get_string("error", "unknown error").c_str());

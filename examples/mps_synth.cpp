@@ -3,6 +3,10 @@
 //
 //   mps_synth <spec.g> [options]
 //     --method modular|direct|lavagno   (default modular)
+//     --engine dpll|cdcl   SAT engine for every formula the method solves
+//                          (default dpll, the paper-faithful Table-1
+//                          reference; cdcl is the clause-learning engine
+//                          that retires the Table-1 LIMIT rows)
 //     --out-pla <prefix>   write one PLA per non-input signal to <prefix><name>.pla
 //     --out-verilog <file> write the gate-level netlist as structural Verilog
 //     --check-circuit      verbose gate-level report: gate/transistor counts and
@@ -40,6 +44,7 @@ using namespace mps;
 int usage() {
   std::fprintf(stderr,
                "usage: mps_synth <spec.g> [--method modular|direct|lavagno]\n"
+               "                 [--engine dpll|cdcl]\n"
                "                 [--out-pla <prefix>] [--out-verilog <file>]\n"
                "                 [--check-circuit] [--dimacs <file>] [--dump-g <file>]\n"
                "                 [--quiet] [--trace <file>] [--stats-json <file>]\n"
@@ -61,6 +66,7 @@ int main(int argc, char** argv) {
   std::string spec_path;
   std::string bench_name;
   std::string method = "modular";
+  std::string engine_str = "dpll";
   std::string pla_prefix;
   std::string verilog_path;
   std::string dimacs_path;
@@ -78,6 +84,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       method = v;
+    } else if (arg == "--engine") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      engine_str = v;
     } else if (arg == "--bench") {
       const char* v = next();
       if (v == nullptr) return usage();
@@ -131,6 +141,12 @@ int main(int argc, char** argv) {
                  method.c_str());
     return 2;
   }
+  const auto engine = sat::engine_from_name(engine_str);
+  if (!engine.has_value()) {
+    std::fprintf(stderr, "error: unknown --engine: %s (expected dpll|cdcl)\n",
+                 engine_str.c_str());
+    return 2;
+  }
 
   if (!trace_path.empty() || !stats_path.empty()) {
     obs::set_enabled(true);  // before any pool/solver work so every span lands
@@ -173,7 +189,8 @@ int main(int argc, char** argv) {
     // Per-method limits come from svc::default_request_options so this CLI
     // and the mps_serve daemon cannot drift apart (the byte-identity
     // contract tested by tests/check_protocol.cmake).
-    const svc::RequestOptions ropts = svc::default_request_options(method);
+    svc::RequestOptions ropts = svc::default_request_options(method);
+    svc::set_engine(&ropts, *engine);
     if (method == "modular") {
       core::SynthesisOptions opts = ropts.modular;
       if (threads != 0) opts.num_threads = threads;

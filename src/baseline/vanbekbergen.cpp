@@ -39,8 +39,11 @@ DirectResult direct_synthesis(const sg::StateGraph& input, const DirectOptions& 
       const sat::Outcome outcome = sat::Solver().solve(enc.cnf(), &model, &sstats, opts.solve);
       stat.outcome = outcome;
       stat.backtracks = sstats.backtracks;
+      stat.conflicts = sstats.conflicts;
       stat.decisions = sstats.decisions;
       stat.propagations = sstats.propagations;
+      stat.restarts = sstats.restarts;
+      stat.learned = sstats.learned;
       stat.seconds = attempt.seconds();
       result.formulas.push_back(stat);
       result.solver_totals.add(sstats);

@@ -54,8 +54,11 @@ PartitionSatResult partition_sat(const ModuleGraph& module, const std::string& n
           sat::Solver().solve(enc.cnf(), &model, &sstats, opts.solve);
       stat.outcome = outcome;
       stat.backtracks = sstats.backtracks;
+      stat.conflicts = sstats.conflicts;
       stat.decisions = sstats.decisions;
       stat.propagations = sstats.propagations;
+      stat.restarts = sstats.restarts;
+      stat.learned = sstats.learned;
       sat_found = outcome == sat::Outcome::Sat;
       // On Outcome::Limit fall through: treat like Unsat and escalate m —
       // a larger signal count often has easy solutions where the smaller

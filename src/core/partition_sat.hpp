@@ -20,11 +20,16 @@ struct FormulaStat {
   std::size_t num_clauses = 0;
   sat::Outcome outcome = sat::Outcome::Unsat;
   double seconds = 0.0;
-  /// DPLL search effort (zero when the BDD or local-search path solved the
-  /// formula first); backtracks == conflicts for this solver class.
+  /// Search effort (zero when the BDD or local-search path solved the
+  /// formula first).  `backtracks` counts chronological backtracks (DPLL)
+  /// or backjumps (CDCL); `conflicts` is the engine-independent effort
+  /// measure the solver totals aggregate.
   std::int64_t backtracks = 0;
+  std::int64_t conflicts = 0;
   std::int64_t decisions = 0;
   std::int64_t propagations = 0;
+  std::int64_t restarts = 0;
+  std::int64_t learned = 0;
 };
 
 struct PartitionSatOptions {
@@ -32,7 +37,7 @@ struct PartitionSatOptions {
   /// Module formulas are tiny, but pathological UNSAT escalations exist;
   /// a backtrack cap keeps a single module from stalling the flow (the
   /// rescue path then finishes the job on the complete graph).
-  sat::SolveOptions solve{/*max_backtracks=*/150'000, /*time_limit_s=*/5.0};
+  sat::SolveOptions solve{.max_backtracks = 150'000, .time_limit_s = 5.0};
   /// Try WalkSAT before DPLL (Gu-style local search; cannot prove UNSAT,
   /// so DPLL remains the decision procedure).
   bool use_local_search = false;

@@ -48,8 +48,11 @@ bool rescue_direct(const sg::StateGraph& g, const PartitionSatOptions& opts,
     const sat::Outcome outcome = sat::Solver().solve(enc.cnf(), &model, &sstats, opts.solve);
     stat.outcome = outcome;
     stat.backtracks = sstats.backtracks;
+    stat.conflicts = sstats.conflicts;
     stat.decisions = sstats.decisions;
     stat.propagations = sstats.propagations;
+    stat.restarts = sstats.restarts;
+    stat.learned = sstats.learned;
     stat.seconds = timer.seconds();
     formulas->push_back(stat);
     if (outcome == sat::Outcome::Sat) {
@@ -275,7 +278,12 @@ SynthesisResult modular_synthesis(const sg::StateGraph& input, const SynthesisOp
     for (const FormulaStat& f : m.formulas) {
       result.solver_totals.decisions += f.decisions;
       result.solver_totals.propagations += f.propagations;
-      result.solver_totals.conflicts += f.backtracks;
+      // Bugfix: this summed f.backtracks, which silently undercounts the
+      // moment an engine stops backtracking once per conflict (CDCL's
+      // non-chronological backjumps).
+      result.solver_totals.conflicts += f.conflicts;
+      result.solver_totals.restarts += f.restarts;
+      result.solver_totals.learned += f.learned;
     }
   }
   result.seconds = timer.seconds();
@@ -295,7 +303,8 @@ std::string options_fingerprint(const SynthesisOptions& opts) {
   // leading version token.  Doubles are rendered with %.17g (round-trip
   // exact), enums as their integer value.
   return util::format(
-      "core-v1;order=%d;input_properness=%d;naive_max_m=%zu;enforce_usc=%d;"
+      "core-v2;order=%d;input_properness=%d;naive_max_m=%zu;enforce_usc=%d;"
+      "engine=%d;"
       "max_backtracks=%lld;solve_time_limit_s=%.17g;restart_interval=%lld;seed=%llu;"
       "use_local_search=%d;use_bdd=%d;max_new_signals=%zu;seed_lower_bound=%d;"
       "try_exact=%d;exact_max_vars=%zu;exact_max_primes=%zu;exact_max_branch_nodes=%lld;"
@@ -303,6 +312,7 @@ std::string options_fingerprint(const SynthesisOptions& opts) {
       "round_time_limit_s=%.17g",
       static_cast<int>(opts.input_set.order), opts.sat.encode.input_properness ? 1 : 0,
       opts.sat.encode.naive_max_m, opts.sat.encode.enforce_usc ? 1 : 0,
+      static_cast<int>(opts.sat.solve.engine),
       static_cast<long long>(opts.sat.solve.max_backtracks), opts.sat.solve.time_limit_s,
       static_cast<long long>(opts.sat.solve.restart_interval),
       static_cast<unsigned long long>(opts.sat.solve.seed),

@@ -60,7 +60,7 @@ std::size_t num_events();
 /// recording (arg() and the destructor become branches on a bool).
 class Span {
  public:
-  static constexpr int kMaxArgs = 6;
+  static constexpr int kMaxArgs = 10;
 
   /// `name` must be a string literal (stored by pointer until export).
   explicit Span(const char* name) : name_(name) {

@@ -1,0 +1,12 @@
+// Internal entry point of the CDCL engine (sat/cdcl.cpp); callers go
+// through Solver::solve with SolveOptions::engine = Engine::Cdcl, which
+// dispatches here and owns the obs span / model check.
+#pragma once
+
+#include "sat/solver.hpp"
+
+namespace mps::sat {
+
+Outcome solve_cdcl(const Cnf& cnf, Model* model, SolveStats* stats, const SolveOptions& opts);
+
+}  // namespace mps::sat

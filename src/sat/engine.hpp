@@ -1,0 +1,132 @@
+// Engine-shared SAT substrate: the contiguous clause arena layout, the
+// blocker-carrying watch entry, and the lazy variable-order max-heap that
+// both search loops (the DPLL reference in solver.cpp and the CDCL engine
+// in cdcl.cpp) are built on.  Header-only; everything here is layout and
+// mechanism — policy (when to bump, what key to order by, how to restart)
+// stays with the engines.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sat/cnf.hpp"
+
+namespace mps::sat {
+
+constexpr std::int8_t kUnassignedValue = -1;
+constexpr std::uint32_t kNoClause = 0xFFFFFFFFu;
+
+/// Clause `ci` is arena[offset .. offset+size).
+struct ClauseHead {
+  std::uint32_t offset;
+  std::uint32_t size;
+};
+
+/// One watch-list entry: clause index plus a cached literal of that clause
+/// (the other watched literal at the time the entry was written); a true
+/// blocker lets the propagator skip the normalize-and-scan protocol.
+struct Watch {
+  std::uint32_t clause;
+  Lit blocker;
+};
+
+/// Double `v` without wrapping: geometric escalation budgets (restart
+/// intervals, clause-DB caps) double on every trigger, and a long-running
+/// search would eventually overflow int64 — signed overflow is UB, and even
+/// the two's-complement wrap would turn the budget negative, making every
+/// subsequent comparison fire.  Saturates at int64 max instead, which
+/// behaves as "never again".
+inline std::int64_t saturating_double(std::int64_t v) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  return v > kMax / 2 ? kMax : v * 2;
+}
+
+/// Lazy binary max-heap over candidate branch variables under a strict
+/// total order supplied by the engine ("ranks higher" predicate; both
+/// engines tie-break on the lowest variable id, which makes the order total
+/// and the root the unique maximum).  Assigned variables are popped and
+/// dropped lazily; the engine re-inserts on unassignment.  Key increases
+/// percolate up via increased(); whole-key rescales rebuild with rebuild().
+template <class Before>
+class VarHeap {
+ public:
+  explicit VarHeap(Before before) : before_(before) {}
+
+  /// Fill with every variable in [0, n) and heapify.
+  void build(std::size_t n) {
+    heap_.resize(n);
+    pos_.assign(n, -1);
+    for (Var v = 0; v < n; ++v) heap_[v] = v;
+    for (std::size_t i = n; i-- > 0;) sift_down(i);
+  }
+
+  void insert(Var v) {
+    if (pos_[v] >= 0) return;
+    heap_.push_back(v);
+    sift_up(heap_.size() - 1);
+  }
+
+  bool contains(Var v) const { return pos_[v] >= 0; }
+
+  /// Restore heap order after the key of `v` increased (activity bump).
+  void increased(Var v) {
+    if (pos_[v] >= 0) sift_up(static_cast<std::size_t>(pos_[v]));
+  }
+
+  /// Restore the heap invariant wholesale (after a non-uniform rescale).
+  void rebuild() {
+    for (std::size_t i = heap_.size(); i-- > 0;) sift_down(i);
+  }
+
+  /// Pop the maximum-order variable, or kNoVar if the heap is empty.
+  Var pop() {
+    if (heap_.empty()) return kNoVar;
+    const Var top = heap_[0];
+    pos_[top] = -1;
+    const Var last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_[0] = last;
+      pos_[last] = 0;
+      sift_down(0);
+    }
+    return top;
+  }
+
+ private:
+  void sift_up(std::size_t i) {
+    const Var v = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before_(v, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      pos_[heap_[i]] = static_cast<std::int32_t>(i);
+      i = parent;
+    }
+    heap_[i] = v;
+    pos_[v] = static_cast<std::int32_t>(i);
+  }
+
+  void sift_down(std::size_t i) {
+    const Var v = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && before_(heap_[child + 1], heap_[child])) ++child;
+      if (!before_(heap_[child], v)) break;
+      heap_[i] = heap_[child];
+      pos_[heap_[i]] = static_cast<std::int32_t>(i);
+      i = child;
+    }
+    heap_[i] = v;
+    pos_[v] = static_cast<std::int32_t>(i);
+  }
+
+  Before before_;
+  std::vector<Var> heap_;           // binary max-heap of candidate branch vars
+  std::vector<std::int32_t> pos_;   // var -> index in heap_, -1 if absent
+};
+
+}  // namespace mps::sat

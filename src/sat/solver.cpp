@@ -5,15 +5,15 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "sat/cdcl.hpp"
+#include "sat/engine.hpp"
 #include "util/common.hpp"
 
 namespace mps::sat {
 
 namespace {
 
-constexpr std::int8_t kUnassigned = -1;
-
-/// Internal solver state for one solve() call.
+/// Internal DPLL state for one solve() call.
 ///
 /// Hot-path layout (DESIGN.md "Hot paths"):
 ///   * Clauses live in one contiguous Lit arena (`arena_`) addressed by
@@ -27,11 +27,16 @@ constexpr std::int8_t kUnassigned = -1;
 ///     lowest var id) — the exact total order the previous O(#vars) linear
 ///     scan maximized, so the selected variable is identical; see the
 ///     HeapMatchesLinearScanReference regression test.
+///
+/// The arena, watch and heap mechanics live in sat/engine.hpp, shared with
+/// the CDCL engine; this class owns the policy that must never change —
+/// its Table-1 quality columns are bit-identity-pinned.
 class Dpll {
  public:
-  Dpll(const Cnf& cnf, const SolveOptions& opts) : cnf_(cnf), opts_(opts) {
+  Dpll(const Cnf& cnf, const SolveOptions& opts)
+      : cnf_(cnf), opts_(opts), heap_(HeapOrder{this}) {
     const std::size_t n = cnf.num_vars();
-    assign_.assign(n, kUnassigned);
+    assign_.assign(n, kUnassignedValue);
     watches_.assign(2 * n, {});
     score_.assign(n, 0.0);
     activity_.assign(n, 0.0);
@@ -63,7 +68,7 @@ class Dpll {
       const double w = std::pow(2.0, -static_cast<double>(clause.size()));
       for (const Lit l : clause) score_[l.var()] += w;
     }
-    heap_build();
+    heap_.build(n);
   }
 
   Outcome run(Model* model, SolveStats* stats) {
@@ -76,8 +81,10 @@ class Dpll {
     if (stats != nullptr) {
       stats->decisions = decisions_;
       stats->backtracks = backtracks_;
+      stats->conflicts = conflicts_;
       stats->propagations = propagations_;
       stats->restarts = restarts_;
+      stats->learned = 0;  // branch-and-bound: nothing is ever learned
       stats->seconds = timer.seconds();
     }
     return outcome;
@@ -86,7 +93,7 @@ class Dpll {
  private:
   bool value_true(Lit l) const { return assign_[l.var()] == (l.negated() ? 0 : 1); }
   bool value_false(Lit l) const { return assign_[l.var()] == (l.negated() ? 1 : 0); }
-  bool unassigned(Lit l) const { return assign_[l.var()] == kUnassigned; }
+  bool unassigned(Lit l) const { return assign_[l.var()] == kUnassignedValue; }
 
   /// Put `l` on the trail; false if it contradicts the current assignment.
   bool enqueue(Lit l) {
@@ -98,84 +105,19 @@ class Dpll {
     return true;
   }
 
-  // --- lazy variable-order heap ---------------------------------------
-  //
-  // Max-heap over unassigned (plus lazily stale assigned) variables under
-  // the strict total order "higher score_+activity_ first, lower var id on
-  // ties".  The tie-break makes the order total, so the heap root is the
-  // unique maximum — the same variable a front-to-back linear scan keeping
-  // strict improvements would report.  Assigned variables are popped and
-  // dropped lazily; undo_to() re-inserts on unassignment.  Activity bumps
-  // only increase keys (percolate up); the rare rescale rebuilds.
-
-  bool heap_before(Var a, Var b) const {
-    const double ka = score_[a] + activity_[a];
-    const double kb = score_[b] + activity_[b];
-    return ka > kb || (ka == kb && a < b);
-  }
-
-  void heap_sift_up(std::size_t i) {
-    const Var v = heap_[i];
-    while (i > 0) {
-      const std::size_t parent = (i - 1) / 2;
-      if (!heap_before(v, heap_[parent])) break;
-      heap_[i] = heap_[parent];
-      heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
-      i = parent;
+  /// Max-heap order over unassigned (plus lazily stale assigned) variables:
+  /// higher score_+activity_ first, lower var id on ties.  The tie-break
+  /// makes the order total, so the heap root is the unique maximum — the
+  /// same variable a front-to-back linear scan keeping strict improvements
+  /// would report.
+  struct HeapOrder {
+    const Dpll* self;
+    bool operator()(Var a, Var b) const {
+      const double ka = self->score_[a] + self->activity_[a];
+      const double kb = self->score_[b] + self->activity_[b];
+      return ka > kb || (ka == kb && a < b);
     }
-    heap_[i] = v;
-    heap_pos_[v] = static_cast<std::int32_t>(i);
-  }
-
-  void heap_sift_down(std::size_t i) {
-    const Var v = heap_[i];
-    const std::size_t n = heap_.size();
-    for (;;) {
-      std::size_t child = 2 * i + 1;
-      if (child >= n) break;
-      if (child + 1 < n && heap_before(heap_[child + 1], heap_[child])) ++child;
-      if (!heap_before(heap_[child], v)) break;
-      heap_[i] = heap_[child];
-      heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
-      i = child;
-    }
-    heap_[i] = v;
-    heap_pos_[v] = static_cast<std::int32_t>(i);
-  }
-
-  void heap_build() {
-    const std::size_t n = cnf_.num_vars();
-    heap_.resize(n);
-    heap_pos_.assign(n, -1);
-    for (Var v = 0; v < n; ++v) heap_[v] = v;
-    for (std::size_t i = n; i-- > 0;) heap_sift_down(i);
-  }
-
-  void heap_insert(Var v) {
-    if (heap_pos_[v] >= 0) return;
-    heap_.push_back(v);
-    heap_sift_up(heap_.size() - 1);
-  }
-
-  /// Restore heap order after the key of `v` increased (activity bump).
-  void heap_increased(Var v) {
-    if (heap_pos_[v] >= 0) heap_sift_up(static_cast<std::size_t>(heap_pos_[v]));
-  }
-
-  /// Pop the maximum-order variable, or kNoVar if the heap is empty.
-  Var heap_pop() {
-    if (heap_.empty()) return kNoVar;
-    const Var top = heap_[0];
-    heap_pos_[top] = -1;
-    const Var last = heap_.back();
-    heap_.pop_back();
-    if (!heap_.empty()) {
-      heap_[0] = last;
-      heap_pos_[last] = 0;
-      heap_sift_down(0);
-    }
-    return top;
-  }
+  };
 
   /// Two-watched-literal unit propagation.  Returns false on conflict and
   /// records the conflicting clause for activity bumping.
@@ -243,9 +185,9 @@ class Dpll {
   void undo_to(std::size_t target) {
     while (trail_.size() > target) {
       const Var v = trail_.back().var();
-      assign_[v] = kUnassigned;
+      assign_[v] = kUnassignedValue;
       ++num_unassigned_;
-      heap_insert(v);
+      heap_.insert(v);
       trail_.pop_back();
     }
     qhead_ = trail_.size();
@@ -265,7 +207,7 @@ class Dpll {
       if (num_unassigned_ > 0) {
         std::uint64_t pick = rng_.below(num_unassigned_);
         for (Var v = 0; v < cnf_.num_vars(); ++v) {
-          if (assign_[v] == kUnassigned && pick-- == 0) return phased(v);
+          if (assign_[v] == kUnassignedValue && pick-- == 0) return phased(v);
         }
       }
     }
@@ -275,7 +217,7 @@ class Dpll {
       Var best = kNoVar;
       double best_score = -1.0;
       for (Var v = 0; v < cnf_.num_vars(); ++v) {
-        if (assign_[v] == kUnassigned && score_[v] + activity_[v] > best_score) {
+        if (assign_[v] == kUnassignedValue && score_[v] + activity_[v] > best_score) {
           best = v;
           best_score = score_[v] + activity_[v];
         }
@@ -284,9 +226,9 @@ class Dpll {
       return phased(best);
     }
     for (;;) {
-      const Var v = heap_pop();
+      const Var v = heap_.pop();
       if (v == kNoVar) return Lit{};
-      if (assign_[v] == kUnassigned) return phased(v);
+      if (assign_[v] == kUnassignedValue) return phased(v);
     }
   }
 
@@ -299,7 +241,7 @@ class Dpll {
     for (std::uint32_t k = 0; k < h.size; ++k) {
       const Var v = arena_[h.offset + k].var();
       activity_[v] += activity_inc_;
-      heap_increased(v);
+      heap_.increased(v);
     }
     activity_inc_ *= 1.05;
     if (activity_inc_ > 1e100) {
@@ -307,7 +249,7 @@ class Dpll {
       activity_inc_ *= 1e-100;
       // The rescale shifts score_+activity_ sums non-uniformly; restore the
       // heap invariant wholesale.
-      for (std::size_t i = heap_.size(); i-- > 0;) heap_sift_down(i);
+      heap_.rebuild();
     }
   }
 
@@ -338,6 +280,9 @@ class Dpll {
 
     for (;;) {
       if (!propagate()) {
+        // One chronological flip per conflict: the two counts advance in
+        // lockstep here by construction (the invariant SolveStats documents).
+        ++conflicts_;
         ++backtracks_;
         ++backtracks_since_restart;
         bump_conflict_activity();
@@ -346,10 +291,12 @@ class Dpll {
         }
         if ((backtracks_ & 255) == 0 && should_stop(timer)) return Outcome::Limit;
         if (opts_.restart_interval > 0 && backtracks_since_restart >= restart_budget) {
-          // Geometric restart: forget decisions, keep activities.
+          // Geometric restart: forget decisions, keep activities.  The
+          // doubling saturates — an unbounded run used to overflow int64
+          // after 63 restarts, turning the budget negative.
           decisions.clear();
           undo_to(root_trail);
-          restart_budget *= 2;
+          restart_budget = saturating_double(restart_budget);
           backtracks_since_restart = 0;
           ++restarts_;
           continue;
@@ -387,20 +334,6 @@ class Dpll {
   const SolveOptions& opts_;
   bool trivially_unsat_ = false;
 
-  /// Clause `ci` is arena_[offset .. offset+size).
-  struct ClauseHead {
-    std::uint32_t offset;
-    std::uint32_t size;
-  };
-  /// One watch-list entry: clause index plus a cached literal of that clause
-  /// (the other watched literal at the time the entry was written); if the
-  /// blocker is true and still watched, the clause is satisfied and the
-  /// entry is kept without the normalize-and-scan step.
-  struct Watch {
-    std::uint32_t clause;
-    Lit blocker;
-  };
-
   std::vector<Lit> arena_;
   std::vector<ClauseHead> heads_;
   std::vector<std::vector<Watch>> watches_;  // indexed by Lit.x
@@ -411,38 +344,55 @@ class Dpll {
   std::vector<double> score_;
   std::vector<double> activity_;
   double activity_inc_ = 1.0;
-  std::vector<Var> heap_;            // binary max-heap of candidate branch vars
-  std::vector<std::int32_t> heap_pos_;  // var -> index in heap_, -1 if absent
-  static constexpr std::uint32_t kNoClause = 0xFFFFFFFFu;
+  VarHeap<HeapOrder> heap_;
   std::uint32_t conflict_clause_ = kNoClause;
   util::Rng rng_;
 
   std::int64_t decisions_ = 0;
   std::int64_t backtracks_ = 0;
+  std::int64_t conflicts_ = 0;
   std::int64_t propagations_ = 0;
   std::int64_t restarts_ = 0;
 };
 
 }  // namespace
 
+const char* engine_name(Engine e) { return e == Engine::Cdcl ? "cdcl" : "dpll"; }
+
+std::optional<Engine> engine_from_name(std::string_view name) {
+  if (name == "dpll") return Engine::Dpll;
+  if (name == "cdcl") return Engine::Cdcl;
+  return std::nullopt;
+}
+
 Outcome Solver::solve(const Cnf& cnf, Model* model, SolveStats* stats, const SolveOptions& opts) {
   obs::Span span("sat.solve");
-  Dpll dpll(cnf, opts);
   SolveStats local;
-  const Outcome outcome = dpll.run(model, &local);
+  Outcome outcome;
+  if (opts.engine == Engine::Cdcl) {
+    outcome = solve_cdcl(cnf, model, &local, opts);
+  } else {
+    outcome = Dpll(cnf, opts).run(model, &local);
+  }
   if (span.active()) {
     // The SolveStats of this call double as the span payload (one source of
     // truth for traces and caller-reported statistics).
     span.arg("vars", static_cast<std::int64_t>(cnf.num_vars()));
     span.arg("clauses", static_cast<std::int64_t>(cnf.num_clauses()));
+    span.arg("engine", static_cast<std::int64_t>(opts.engine));
     span.arg("decisions", local.decisions);
     span.arg("propagations", local.propagations);
-    span.arg("conflicts", local.conflicts());
+    span.arg("conflicts", local.conflicts);
+    span.arg("backjumps", local.backtracks);
+    span.arg("learned", local.learned);
+    span.arg("restarts", local.restarts);
     span.arg("outcome", static_cast<std::int64_t>(outcome));
     obs::counter_add("sat.solves", 1);
     obs::counter_add("sat.decisions", local.decisions);
     obs::counter_add("sat.propagations", local.propagations);
-    obs::counter_add("sat.conflicts", local.conflicts());
+    obs::counter_add("sat.conflicts", local.conflicts);
+    obs::counter_add("sat.backjumps", local.backtracks);
+    obs::counter_add("sat.learned", local.learned);
     obs::counter_add("sat.restarts", local.restarts);
   }
   if (stats != nullptr) *stats = local;

@@ -1,17 +1,27 @@
-// A branch-and-bound (DPLL) SAT solver with two-watched-literal unit
-// propagation — a from-scratch equivalent of the SIS solver (Stephan,
-// Brayton, Sangiovanni-Vincentelli, ERL M92/112) the paper used.
+// Two SAT engines behind one entry point, selected by SolveOptions::engine:
 //
-// Deliberately *not* a clause-learning CDCL solver: the paper's observation
-// — direct SAT-CSC formulas defeat branch-and-bound search while the
-// modular formulas are trivial — is a statement about this solver class,
-// and Table 1's "SAT Backtrack Limit" entries are reproduced by the same
-// mechanism (the backtrack limit below).
+//   * Engine::Dpll (default) — a branch-and-bound (DPLL) solver with
+//     two-watched-literal unit propagation, a from-scratch equivalent of
+//     the SIS solver (Stephan, Brayton, Sangiovanni-Vincentelli, ERL
+//     M92/112) the paper used.  Deliberately *not* clause-learning: the
+//     paper's observation — direct SAT-CSC formulas defeat branch-and-bound
+//     search while the modular formulas are trivial — is a statement about
+//     this solver class, and Table 1's "SAT Backtrack Limit" entries are
+//     reproduced by the same mechanism (the backtrack limit below).  This
+//     engine is the pinned Table-1 reference and never changes behavior.
+//
+//   * Engine::Cdcl — a conflict-driven clause-learning solver (GRASP/Chaff
+//     lineage: first-UIP learning with clause minimization, non-
+//     chronological backjumping, EVSIDS branching, Luby restarts, LBD-based
+//     clause-DB reduction) on the same arena/watcher substrate.  It retires
+//     every Table-1 LIMIT row; see DESIGN.md "CDCL engine".
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 #include "sat/cnf.hpp"
 
@@ -19,9 +29,26 @@ namespace mps::sat {
 
 enum class Outcome { Sat, Unsat, Limit };
 
+/// Search engine selector.  Dpll is the paper-faithful reference whose
+/// Table-1 quality columns are bit-identity-pinned; Cdcl is the
+/// clause-learning engine.  Result-affecting: both cache fingerprints
+/// (core::options_fingerprint, svc::request_fingerprint) include it.
+enum class Engine { Dpll, Cdcl };
+
+/// Canonical lower-case name ("dpll" / "cdcl") — the spelling shared by the
+/// --engine CLI flags, the svc protocol's "engine" field and bench/table1's
+/// JSON schema.
+const char* engine_name(Engine e);
+/// Inverse of engine_name; nullopt on anything else (callers own the
+/// diagnostic).
+std::optional<Engine> engine_from_name(std::string_view name);
+
 struct SolveOptions {
-  /// Abort with Outcome::Limit beyond this many backtracks (flips of a
-  /// decision); <0 = unlimited.
+  /// Which search loop runs.  Both honor every limit/interrupt field below.
+  Engine engine = Engine::Dpll;
+  /// Abort with Outcome::Limit beyond this many conflicts (for DPLL:
+  /// backtracks — flips of a decision; the two counts coincide there);
+  /// <0 = unlimited.
   std::int64_t max_backtracks = -1;
   /// Wall-clock limit in seconds; <=0 = unlimited.  Checked periodically on
   /// both decisions and conflicts, so propagation-heavy runs with few
@@ -37,9 +64,11 @@ struct SolveOptions {
   /// with time_limit_s: whichever fires first wins.
   std::chrono::steady_clock::time_point deadline{};
   /// Restart the search (keeping variable activities) after this many
-  /// backtracks, doubling each time; 0 disables restarts.  Restarts do not
-  /// affect completeness statistics — a run that ends by exhausting the
-  /// search space still reports Unsat.
+  /// conflicts; 0 disables restarts.  The DPLL engine doubles the budget
+  /// after every restart (geometric, saturating at int64 max); the CDCL
+  /// engine scales it by the Luby sequence.  Restarts do not affect
+  /// completeness — a run that ends by exhausting the search space still
+  /// reports Unsat.
   std::int64_t restart_interval = 256;
   /// Seed for branching tie randomization (restarts explore new regions).
   std::uint64_t seed = 0x9E3779B9;
@@ -60,14 +89,21 @@ struct SolveOptions {
 /// and the caller-visible stats are the same numbers by construction.
 struct SolveStats {
   std::int64_t decisions = 0;
+  /// Backtrack/backjump operations.  The DPLL engine backtracks once per
+  /// conflict (no clause learning), so conflicts == backtracks there — an
+  /// invariant pinned by the DpllConflictsEqualBacktracks regression test.
+  /// The CDCL engine backjumps non-chronologically, and a conflict at
+  /// decision level 0 ends the search without any backjump, so the two
+  /// counts diverge; `conflicts` is a real counted field, not an alias.
   std::int64_t backtracks = 0;
+  /// Conflicting propagations encountered (counted at the conflict site by
+  /// both engines).
+  std::int64_t conflicts = 0;
   std::int64_t propagations = 0;
   std::int64_t restarts = 0;
+  /// Learned clauses recorded (0 for the DPLL engine, which learns none).
+  std::int64_t learned = 0;
   double seconds = 0.0;
-  /// This solver backtracks on every conflict (no clause learning), so the
-  /// conflict count reported in traces and Table-1 rows IS the backtrack
-  /// count under its conventional name.
-  std::int64_t conflicts() const { return backtracks; }
 };
 
 /// Aggregate search effort over a group of solves (one synthesis run, one
@@ -77,11 +113,15 @@ struct SolverTotals {
   std::int64_t decisions = 0;
   std::int64_t propagations = 0;
   std::int64_t conflicts = 0;
+  std::int64_t restarts = 0;
+  std::int64_t learned = 0;
 
   void add(const SolveStats& s) {
     decisions += s.decisions;
     propagations += s.propagations;
-    conflicts += s.conflicts();
+    conflicts += s.conflicts;
+    restarts += s.restarts;
+    learned += s.learned;
   }
 };
 

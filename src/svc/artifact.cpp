@@ -19,10 +19,10 @@ namespace {
 
 /// Result-affecting fields shared by both baseline methods' sub-structs.
 std::string solve_fingerprint(const sat::SolveOptions& s) {
-  return util::format("max_backtracks=%lld;solve_time_limit_s=%.17g;restart_interval=%lld;"
-                      "seed=%llu",
-                      static_cast<long long>(s.max_backtracks), s.time_limit_s,
-                      static_cast<long long>(s.restart_interval),
+  return util::format("engine=%s;max_backtracks=%lld;solve_time_limit_s=%.17g;"
+                      "restart_interval=%lld;seed=%llu",
+                      sat::engine_name(s.engine), static_cast<long long>(s.max_backtracks),
+                      s.time_limit_s, static_cast<long long>(s.restart_interval),
                       static_cast<unsigned long long>(s.seed));
 }
 
@@ -109,6 +109,12 @@ RequestOptions default_request_options(const std::string& method) {
   return opts;
 }
 
+void set_engine(RequestOptions* opts, sat::Engine engine) {
+  opts->modular.sat.solve.engine = engine;
+  opts->direct.solve.engine = engine;
+  opts->lavagno.solve.engine = engine;
+}
+
 std::string request_fingerprint(const RequestOptions& opts) {
   std::string fp =
       util::format("req-v1;method=%s;deadline_s=%.17g;", opts.method.c_str(), opts.deadline_s);
@@ -116,13 +122,13 @@ std::string request_fingerprint(const RequestOptions& opts) {
     fp += core::options_fingerprint(opts.modular);
   } else if (opts.method == "direct") {
     const auto& d = opts.direct;
-    fp += "direct-v1;" + encode_fingerprint(d.encode) + ";" + solve_fingerprint(d.solve) +
+    fp += "direct-v2;" + encode_fingerprint(d.encode) + ";" + solve_fingerprint(d.solve) +
           ";" + minimize_fingerprint(d.minimize) + ";" +
           util::format("max_new_signals=%zu;max_rounds=%d;derive_logic=%d",
                        d.max_new_signals, d.max_rounds, d.derive_logic ? 1 : 0);
   } else if (opts.method == "lavagno") {
     const auto& l = opts.lavagno;
-    fp += "lavagno-v1;" + solve_fingerprint(l.solve) + ";" + minimize_fingerprint(l.minimize) +
+    fp += "lavagno-v2;" + solve_fingerprint(l.solve) + ";" + minimize_fingerprint(l.minimize) +
           ";" + encode_fingerprint(l.encode) + ";" +
           util::format("max_insertions=%d;max_signals_per_class=%zu;time_limit_s=%.17g;"
                        "derive_logic=%d",
@@ -239,6 +245,8 @@ Json Artifact::to_json() const {
   solver_obj.set("decisions", Json(solver.decisions));
   solver_obj.set("propagations", Json(solver.propagations));
   solver_obj.set("conflicts", Json(solver.conflicts));
+  solver_obj.set("restarts", Json(solver.restarts));
+  solver_obj.set("learned", Json(solver.learned));
   j.set("solver", std::move(solver_obj));
   j.set("seconds", Json(seconds));
   return j;
@@ -292,6 +300,8 @@ std::optional<Artifact> Artifact::deserialize(const std::string& text) {
     a.solver.decisions = solver_obj->get_int("decisions", 0);
     a.solver.propagations = solver_obj->get_int("propagations", 0);
     a.solver.conflicts = solver_obj->get_int("conflicts", 0);
+    a.solver.restarts = solver_obj->get_int("restarts", 0);
+    a.solver.learned = solver_obj->get_int("learned", 0);
   }
   a.seconds = j.get_double("seconds", 0.0);
   return a;

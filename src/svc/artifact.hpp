@@ -50,6 +50,12 @@ struct RequestOptions {
 /// (direct: 5M backtracks / 120 s; lavagno: 300 s overall).
 RequestOptions default_request_options(const std::string& method);
 
+/// Select the SAT engine for every method's solve options.  The engine is
+/// result-affecting and lives inside each method's sat::SolveOptions; this
+/// helper keeps the three in sync so a request's fingerprint always matches
+/// the options the active method actually runs with.
+void set_engine(RequestOptions* opts, sat::Engine engine);
+
 /// Canonical text encoding of every result-affecting RequestOptions field
 /// (method, deadline budget, and the active method's option struct).
 std::string request_fingerprint(const RequestOptions& opts);
@@ -62,8 +68,8 @@ std::string request_digest(const stg::Stg& spec, const RequestOptions& opts);
 struct Artifact {
   /// Bump on any serialization change; deserialize() rejects other versions
   /// (and request_digest folds kVersion into the key, so stale disk entries
-  /// are simply never looked up).
-  static constexpr int kVersion = 1;
+  /// are simply never looked up).  v2: solver object gained restarts/learned.
+  static constexpr int kVersion = 2;
 
   std::string name;    ///< spec (STG) name
   std::string method;

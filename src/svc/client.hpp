@@ -29,8 +29,11 @@ class Client {
   Json ping();
   Json stats();
   Json drain();
+  /// `engine` is the wire spelling ("dpll"/"cdcl", sat::engine_name); empty
+  /// omits the field and lets the daemon default (dpll).
   Json synth(const std::string& g_text, const std::string& method,
-             unsigned threads = 1, double deadline_s = 0.0);
+             unsigned threads = 1, double deadline_s = 0.0,
+             const std::string& engine = "");
 
  private:
   int fd_ = -1;

@@ -96,6 +96,12 @@ std::string Service::handle_synth(const Json& req) {
     return error_response("synth", "bad_request",
                           "unknown method: '" + method + "' (expected modular|direct|lavagno)");
   }
+  const std::string engine_str = req.get_string("engine", "dpll");
+  const auto engine = sat::engine_from_name(engine_str);
+  if (!engine.has_value()) {
+    return error_response("synth", "bad_request",
+                          "unknown engine: '" + engine_str + "' (expected dpll|cdcl)");
+  }
 
   stg::Stg spec;
   try {
@@ -107,8 +113,10 @@ std::string Service::handle_synth(const Json& req) {
   RequestOptions ropts = default_request_options(method);
   ropts.threads = static_cast<unsigned>(req.get_int("threads", 1));
   ropts.deadline_s = req.get_double("deadline_s", 0.0);
+  set_engine(&ropts, *engine);
   const std::string digest = request_digest(spec, ropts);
   span.arg("threads", ropts.threads);
+  span.arg("engine", static_cast<std::int64_t>(*engine));
 
   auto respond = [&](const std::string& payload, bool cached) -> std::string {
     Json artifact;

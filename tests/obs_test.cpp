@@ -97,7 +97,7 @@ TEST_F(Obs, SolverEmitsSpanAndCounters) {
   EXPECT_EQ(obs::counter_value("sat.solves"), 1);
   EXPECT_EQ(obs::counter_value("sat.decisions"), stats.decisions);
   EXPECT_EQ(obs::counter_value("sat.propagations"), stats.propagations);
-  EXPECT_EQ(obs::counter_value("sat.conflicts"), stats.conflicts());
+  EXPECT_EQ(obs::counter_value("sat.conflicts"), stats.conflicts);
   const std::string trace = obs::chrome_trace_json();
   EXPECT_NE(trace.find("\"sat.solve\""), std::string::npos);
   EXPECT_NE(trace.find("\"outcome\""), std::string::npos);

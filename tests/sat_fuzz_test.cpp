@@ -1,0 +1,140 @@
+// Differential fuzzing of the two SAT engines: random CNFs — mixed clause
+// widths, densities spanning the easy-SAT / phase-transition / easy-UNSAT
+// bands — solved by both the DPLL reference and the CDCL engine, outcomes
+// cross-checked against each other and (on satisfiable instances) against
+// WalkSAT.  Three independent deciders agreeing on hundreds of instances is
+// the completeness argument for the clause-learning machinery (learning,
+// minimization, backjumping, restarts, DB reduction) that no hand-written
+// unit test pins: any unsound learned clause or lost propagation shows up
+// as an outcome mismatch or a model that fails satisfied_by().
+#include <gtest/gtest.h>
+
+#include "sat/cnf.hpp"
+#include "sat/local_search.hpp"
+#include "sat/solver.hpp"
+#include "util/common.hpp"
+
+namespace {
+
+using namespace mps::sat;
+
+/// Random CNF with clause widths in [1, 4] (mostly 3), `vars` variables and
+/// about `density * vars` clauses.  Width-1/2 clauses force propagation
+/// chains; width-4 clauses keep instances from collapsing to pure 3-SAT.
+Cnf random_cnf(mps::util::Rng& rng, int vars, double density) {
+  Cnf cnf;
+  cnf.new_vars(vars);
+  const int clauses = static_cast<int>(density * vars);
+  for (int c = 0; c < clauses; ++c) {
+    int width = 3;
+    const double r = rng.uniform();
+    if (r < 0.05) {
+      width = 1;
+    } else if (r < 0.25) {
+      width = 2;
+    } else if (r < 0.85) {
+      width = 3;
+    } else {
+      width = 4;
+    }
+    std::vector<Lit> clause;
+    for (int k = 0; k < width; ++k) {
+      clause.push_back(Lit::make(static_cast<Var>(rng.below(vars)), rng.chance(0.5)));
+    }
+    cnf.add_clause(clause);
+  }
+  return cnf;
+}
+
+struct EngineRun {
+  Outcome outcome;
+  Model model;
+  SolveStats stats;
+};
+
+EngineRun run_engine(const Cnf& cnf, Engine engine, std::int64_t restart_interval = 256) {
+  EngineRun r;
+  SolveOptions opts;
+  opts.engine = engine;
+  opts.restart_interval = restart_interval;
+  r.outcome = Solver().solve(cnf, &r.model, &r.stats, opts);
+  return r;
+}
+
+/// One differential round: both engines must agree on the outcome, every
+/// Sat model must satisfy the formula, and a WalkSAT success on an
+/// "Unsat"-declared instance is an immediate soundness failure.
+void check_instance(const Cnf& cnf, int tag, std::int64_t cdcl_restart_interval) {
+  const EngineRun dpll = run_engine(cnf, Engine::Dpll);
+  const EngineRun cdcl = run_engine(cnf, Engine::Cdcl, cdcl_restart_interval);
+  ASSERT_EQ(dpll.outcome, cdcl.outcome) << "engines disagree on instance " << tag;
+  if (dpll.outcome == Outcome::Sat) {
+    EXPECT_TRUE(cnf.satisfied_by(dpll.model)) << "DPLL model invalid, instance " << tag;
+    EXPECT_TRUE(cnf.satisfied_by(cdcl.model)) << "CDCL model invalid, instance " << tag;
+    // The third decider: local search must never contradict Sat (it cannot
+    // prove Unsat, so it only ever strengthens the Sat verdict).
+    Model ls_model;
+    LocalSearchOptions ls_opts;
+    ls_opts.max_tries = 2;
+    ls_opts.max_flips = 2000;
+    if (walksat(cnf, &ls_model, nullptr, ls_opts)) {
+      EXPECT_TRUE(cnf.satisfied_by(ls_model)) << "WalkSAT model invalid, instance " << tag;
+    }
+  } else {
+    ASSERT_EQ(dpll.outcome, Outcome::Unsat) << "unexpected Limit on instance " << tag;
+    Model ls_model;
+    LocalSearchOptions ls_opts;
+    ls_opts.max_tries = 2;
+    ls_opts.max_flips = 2000;
+    EXPECT_FALSE(walksat(cnf, &ls_model, nullptr, ls_opts))
+        << "WalkSAT found a model for an instance both engines call Unsat, instance " << tag;
+  }
+}
+
+TEST(SatFuzz, EnginesAgreeAcrossTheDensitySpectrum) {
+  mps::util::Rng rng(0xC0FFEE);
+  // Low density (mostly Sat), the 3-SAT phase transition (hardest mix),
+  // and high density (mostly Unsat with short proofs).
+  const double densities[] = {2.0, 3.5, 4.3, 5.5};
+  int tag = 0;
+  for (const double density : densities) {
+    for (int i = 0; i < 40; ++i) {
+      const int vars = 8 + static_cast<int>(rng.below(25));
+      check_instance(random_cnf(rng, vars, density), tag++, /*cdcl_restart_interval=*/256);
+    }
+  }
+}
+
+TEST(SatFuzz, AgreementHoldsUnderAggressiveCdclRestarts) {
+  // A tiny Luby unit forces constant restarts, stressing the interaction of
+  // restarts with learned-clause retention and phase saving.
+  mps::util::Rng rng(0xFEEDFACE);
+  for (int i = 0; i < 40; ++i) {
+    const int vars = 8 + static_cast<int>(rng.below(17));
+    check_instance(random_cnf(rng, vars, 4.3), 1000 + i, /*cdcl_restart_interval=*/2);
+  }
+}
+
+TEST(SatFuzz, AgreementHoldsOnWidePropagationChains) {
+  // Implication-ladder instances: random binary implications plus a few
+  // random wider clauses.  Unit-heavy formulas probe the propagation /
+  // reason-tracking code rather than the search heuristics.
+  mps::util::Rng rng(0xDEADBEEF);
+  for (int i = 0; i < 30; ++i) {
+    const int vars = 12 + static_cast<int>(rng.below(20));
+    Cnf cnf;
+    cnf.new_vars(vars);
+    for (int c = 0; c < vars * 3; ++c) {
+      cnf.add_clause({Lit::make(static_cast<Var>(rng.below(vars)), rng.chance(0.5)),
+                      Lit::make(static_cast<Var>(rng.below(vars)), rng.chance(0.5))});
+    }
+    for (int c = 0; c < vars / 2; ++c) {
+      cnf.add_clause({Lit::make(static_cast<Var>(rng.below(vars)), rng.chance(0.5)),
+                      Lit::make(static_cast<Var>(rng.below(vars)), rng.chance(0.5)),
+                      Lit::make(static_cast<Var>(rng.below(vars)), rng.chance(0.5))});
+    }
+    check_instance(cnf, 2000 + i, /*cdcl_restart_interval=*/256);
+  }
+}
+
+}  // namespace

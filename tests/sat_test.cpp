@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "sat/cnf.hpp"
 #include "sat/dimacs.hpp"
+#include "sat/engine.hpp"
 #include "sat/local_search.hpp"
 #include "sat/solver.hpp"
 #include "util/common.hpp"
@@ -389,6 +392,216 @@ TEST(Solver, DeterministicWithFixedSeed) {
   Solver().solve(cnf, &m2, &s2, opts);
   EXPECT_EQ(m1, m2);
   EXPECT_EQ(s1.decisions, s2.decisions);
+}
+
+// Regression (stats bugfix): SolveStats::conflicts used to be an accessor
+// hard-aliasing `backtracks`.  For the DPLL engine the two counts genuinely
+// coincide (one chronological backtrack per conflict) — that invariant is
+// pinned here, on instances with plenty of conflicts.
+TEST(Solver, DpllConflictsEqualBacktracks) {
+  SolveStats stats;
+  ASSERT_EQ(Solver().solve(pigeonhole(5, 4), nullptr, &stats), Outcome::Unsat);
+  EXPECT_GT(stats.conflicts, 0);
+  EXPECT_EQ(stats.conflicts, stats.backtracks);
+  EXPECT_EQ(stats.learned, 0);  // DPLL never learns clauses
+  mps::util::Rng rng(31);
+  for (int i = 0; i < 10; ++i) {
+    const Cnf cnf = random_3sat(rng, 25, 107);  // density 4.3: mixed outcomes
+    SolveStats s;
+    Solver().solve(cnf, nullptr, &s);
+    EXPECT_EQ(s.conflicts, s.backtracks) << "instance " << i;
+  }
+}
+
+// Regression (overflow bugfix): the DPLL geometric restart escalation used
+// a bare `restart_budget *= 2`, which is UB once the budget passes
+// int64 max / 2 on a long-running search.  The shared helper saturates.
+TEST(Engine, SaturatingDoubleSaturatesAtInt64Max) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(saturating_double(3), 6);
+  EXPECT_EQ(saturating_double(0), 0);
+  EXPECT_EQ(saturating_double(kMax / 2), kMax - 1);  // largest non-saturating input
+  EXPECT_EQ(saturating_double(kMax / 2 + 1), kMax);
+  EXPECT_EQ(saturating_double(kMax), kMax);
+}
+
+TEST(Engine, DpllSearchSurvivesCappedRestartBudget) {
+  // A restart budget near int64 max must not wrap negative (which would
+  // make every conflict trigger a restart — or worse, UB).  The search
+  // doubles the budget on its first restart; with the interval at
+  // int64max/2 the doubled value saturates instead of overflowing.
+  SolveOptions opts;
+  opts.restart_interval = std::numeric_limits<std::int64_t>::max() / 2;
+  EXPECT_EQ(Solver().solve(pigeonhole(4, 3), nullptr, nullptr, opts), Outcome::Unsat);
+}
+
+SolveOptions cdcl_opts() {
+  SolveOptions opts;
+  opts.engine = Engine::Cdcl;
+  return opts;
+}
+
+TEST(Cdcl, TrivialOutcomes) {
+  {
+    Cnf cnf;
+    const Var x = cnf.new_var();
+    cnf.add_clause({pos(x)});
+    Model m;
+    EXPECT_EQ(Solver().solve(cnf, &m, nullptr, cdcl_opts()), Outcome::Sat);
+    EXPECT_TRUE(m[x]);
+    cnf.add_clause({neg(x)});
+    EXPECT_EQ(Solver().solve(cnf, nullptr, nullptr, cdcl_opts()), Outcome::Unsat);
+  }
+  {
+    Cnf cnf;
+    cnf.new_var();
+    cnf.add_clause(std::vector<Lit>{});
+    EXPECT_EQ(Solver().solve(cnf, nullptr, nullptr, cdcl_opts()), Outcome::Unsat);
+  }
+  {
+    Cnf cnf;
+    cnf.new_vars(3);
+    Model m;
+    EXPECT_EQ(Solver().solve(cnf, &m, nullptr, cdcl_opts()), Outcome::Sat);
+    EXPECT_EQ(m.size(), 3u);
+  }
+}
+
+TEST(Cdcl, PigeonholeOutcomesAndLearning) {
+  SolveStats stats;
+  EXPECT_EQ(Solver().solve(pigeonhole(5, 4), nullptr, &stats, cdcl_opts()), Outcome::Unsat);
+  EXPECT_GT(stats.conflicts, 0);
+  EXPECT_GT(stats.learned, 0);
+  // Non-chronological backjumping: a level-0 conflict ends the search with
+  // no backjump, so the alias the old accessor assumed does not hold here.
+  EXPECT_LT(stats.backtracks, stats.conflicts);
+  Model m;
+  const Cnf sat_cnf = pigeonhole(4, 4);
+  ASSERT_EQ(Solver().solve(sat_cnf, &m, nullptr, cdcl_opts()), Outcome::Sat);
+  EXPECT_TRUE(sat_cnf.satisfied_by(m));
+}
+
+TEST(Cdcl, AgreesWithBruteForceOnSmallFormulas) {
+  mps::util::Rng rng(123);
+  for (int i = 0; i < 50; ++i) {
+    const int vars = 6;
+    const Cnf cnf = random_3sat(rng, vars, 24);
+    bool brute_sat = false;
+    for (int x = 0; x < (1 << vars) && !brute_sat; ++x) {
+      Model m(vars);
+      for (int v = 0; v < vars; ++v) m[v] = (x >> v) & 1;
+      brute_sat = cnf.satisfied_by(m);
+    }
+    Model m;
+    const Outcome out = Solver().solve(cnf, &m, nullptr, cdcl_opts());
+    EXPECT_EQ(out, brute_sat ? Outcome::Sat : Outcome::Unsat) << "instance " << i;
+  }
+}
+
+TEST(Cdcl, ConflictLimitReported) {
+  SolveOptions opts = cdcl_opts();
+  opts.max_backtracks = 1;  // caps *conflicts* for this engine
+  SolveStats stats;
+  EXPECT_EQ(Solver().solve(pigeonhole(6, 5), nullptr, &stats, opts), Outcome::Limit);
+  EXPECT_LE(stats.conflicts, 2);
+}
+
+TEST(Cdcl, TimeLimitHonoredWithoutConflicts) {
+  SolveOptions opts = cdcl_opts();
+  opts.time_limit_s = 1e-3;
+  SolveStats stats;
+  mps::util::Timer timer;
+  const Outcome out = Solver().solve(propagation_heavy(30000), nullptr, &stats, opts);
+  EXPECT_EQ(out, Outcome::Limit);
+  EXPECT_EQ(stats.conflicts, 0);  // the conflict-path check cannot have fired
+  EXPECT_LT(timer.seconds(), 5.0);
+}
+
+TEST(Cdcl, InterruptAndDeadlineStopSearch) {
+  std::atomic<bool> interrupt{true};
+  SolveOptions opts = cdcl_opts();
+  opts.interrupt = &interrupt;
+  EXPECT_EQ(Solver().solve(pigeonhole(8, 7), nullptr, nullptr, opts), Outcome::Limit);
+  interrupt = false;
+  opts.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  EXPECT_EQ(Solver().solve(pigeonhole(8, 7), nullptr, nullptr, opts), Outcome::Limit);
+  opts.deadline = std::chrono::steady_clock::now() + std::chrono::hours(1);
+  EXPECT_EQ(Solver().solve(pigeonhole(4, 3), nullptr, nullptr, opts), Outcome::Unsat);
+}
+
+TEST(Cdcl, AggressiveRestartsKeepCompleteness) {
+  // Luby restarts with a tiny base unit: the search restarts constantly but
+  // keeps learned clauses, so it still terminates with the right answer.
+  SolveOptions opts = cdcl_opts();
+  opts.restart_interval = 2;
+  SolveStats stats;
+  EXPECT_EQ(Solver().solve(pigeonhole(5, 4), nullptr, &stats, opts), Outcome::Unsat);
+  EXPECT_GT(stats.restarts, 0);
+  Model m;
+  const Cnf sat_cnf = pigeonhole(5, 5);
+  ASSERT_EQ(Solver().solve(sat_cnf, &m, nullptr, opts), Outcome::Sat);
+  EXPECT_TRUE(sat_cnf.satisfied_by(m));
+}
+
+TEST(Cdcl, RestartsDisabledStillComplete) {
+  SolveOptions opts = cdcl_opts();
+  opts.restart_interval = 0;
+  SolveStats stats;
+  EXPECT_EQ(Solver().solve(pigeonhole(5, 4), nullptr, &stats, opts), Outcome::Unsat);
+  EXPECT_EQ(stats.restarts, 0);
+}
+
+TEST(Cdcl, ClauseDatabaseReductionUnderSustainedConflicts) {
+  // PHP(8,7) is resolution-hard enough to push the stored learned-clause
+  // count past the first reduction budget (max(2000, #clauses/2) = 2000),
+  // exercising the LBD-based reduce + arena compaction path on a formula
+  // whose answer is known.  Learned-total > 2000 implies at least one
+  // reduction fired (units aside, every learned clause is stored).
+  SolveStats stats;
+  ASSERT_EQ(Solver().solve(pigeonhole(8, 7), nullptr, &stats, cdcl_opts()), Outcome::Unsat);
+  EXPECT_GT(stats.learned, 2000);
+}
+
+TEST(Cdcl, SatModelsCarryNoGratuitousTrueAssignments) {
+  // Phase saving can leave a stale saved-TRUE polarity on a variable no
+  // clause needs: here deciding a=F propagates b=T, z=T and deciding p=F
+  // propagates q=T into a conflict whose 1UIP unit (p) backjumps to level
+  // 0, throwing q's TRUE phase into the saved-polarity store.  When q is
+  // re-decided after the restart it comes back TRUE — a gratuitous
+  // assignment that downstream consumers (the Lavagno insertion decode
+  // drops constant columns) turn into gratuitous inserted state signals.
+  // The post-Sat shrink pass must return it to FALSE.
+  Cnf cnf;
+  const Var a = cnf.new_var(), b = cnf.new_var(), z = cnf.new_var();
+  const Var p = cnf.new_var(), q = cnf.new_var();
+  cnf.add_clause({pos(a), pos(b)});
+  cnf.add_clause({neg(b), pos(z)});
+  cnf.add_clause({pos(p), pos(q)});
+  cnf.add_clause({pos(p), neg(q)});
+  SolveOptions opts = cdcl_opts();
+  opts.restart_interval = 1;  // restart on the first conflict
+  Model m;
+  ASSERT_EQ(Solver().solve(cnf, &m, nullptr, opts), Outcome::Sat);
+  EXPECT_TRUE(cnf.satisfied_by(m));
+  EXPECT_TRUE(m[p]) << "p is implied at level 0";
+  EXPECT_FALSE(m[q]) << "no clause needs q once p holds";
+  int trues = 0;
+  for (const bool v : m) trues += v ? 1 : 0;
+  EXPECT_LE(trues, 3) << "model should be mostly-false like the DPLL reference";
+}
+
+TEST(Cdcl, DeterministicAcrossRuns) {
+  mps::util::Rng rng(7);
+  const Cnf cnf = random_3sat(rng, 40, 170);
+  SolveStats s1, s2;
+  Model m1, m2;
+  const Outcome o1 = Solver().solve(cnf, &m1, &s1, cdcl_opts());
+  const Outcome o2 = Solver().solve(cnf, &m2, &s2, cdcl_opts());
+  EXPECT_EQ(o1, o2);
+  EXPECT_EQ(m1, m2);
+  EXPECT_EQ(s1.decisions, s2.decisions);
+  EXPECT_EQ(s1.conflicts, s2.conflicts);
+  EXPECT_EQ(s1.learned, s2.learned);
 }
 
 }  // namespace

@@ -353,6 +353,19 @@ TEST(SvcFingerprint, ThreadsAreExcludedResultAffectingFieldsIncluded) {
             svc::request_fingerprint(svc::default_request_options("lavagno")));
 }
 
+TEST(SvcFingerprint, EngineSelectorChangesEveryMethodsFingerprint) {
+  // A cached DPLL artifact must never satisfy a CDCL request (and vice
+  // versa): the engines explore different search paths, so solver-effort
+  // fields and LIMIT outcomes differ even when the circuit agrees.
+  for (const char* method : {"modular", "direct", "lavagno"}) {
+    const svc::RequestOptions dpll = svc::default_request_options(method);
+    svc::RequestOptions cdcl = dpll;
+    svc::set_engine(&cdcl, sat::Engine::Cdcl);
+    EXPECT_NE(svc::request_fingerprint(dpll), svc::request_fingerprint(cdcl))
+        << method << ": engine must be part of the cache key";
+  }
+}
+
 TEST(SvcFingerprint, DigestBindsSpecAndOptions) {
   const stg::Stg spec_a = stg::parse_g(
       ".model a\n.inputs x\n.outputs y\n.graph\nx+ y+\ny+ x-\nx- y-\ny- x+\n"
@@ -364,6 +377,11 @@ TEST(SvcFingerprint, DigestBindsSpecAndOptions) {
 
   auto direct = svc::default_request_options("direct");
   EXPECT_NE(d1, svc::request_digest(spec_a, direct));
+
+  auto cdcl = opts;
+  svc::set_engine(&cdcl, sat::Engine::Cdcl);
+  EXPECT_NE(d1, svc::request_digest(spec_a, cdcl))
+      << "same spec, different engine must hash to a different cache entry";
 }
 
 // ------------------------------------------------------------- Artifact --
@@ -388,6 +406,8 @@ svc::Artifact sample_artifact() {
   a.solver.decisions = 100;
   a.solver.propagations = 2000;
   a.solver.conflicts = 7;
+  a.solver.restarts = 3;
+  a.solver.learned = 42;
   a.seconds = 0.125;
   return a;
 }
@@ -402,6 +422,8 @@ TEST(SvcArtifact, SerializeDeserializeRoundTrip) {
   EXPECT_EQ(back->covers, a.covers);
   EXPECT_EQ(back->signal_names, a.signal_names);
   EXPECT_EQ(back->solver.propagations, 2000);
+  EXPECT_EQ(back->solver.restarts, 3);
+  EXPECT_EQ(back->solver.learned, 42);
   EXPECT_DOUBLE_EQ(back->seconds, 0.125);
 }
 
@@ -522,6 +544,46 @@ TEST(SvcService, SynthRunsCachesAndReportsParseErrors) {
   const svc::Json r5 = svc::Json::parse(
       service.handle_line(R"({"op":"synth","g":"x","method":"quantum"})"));
   EXPECT_EQ(r5.get_string("kind", ""), "bad_request");
+}
+
+TEST(SvcService, SynthCarriesTheEngineSelector) {
+  svc::Service service(fast_service_options());
+  const std::string g_text = stg::write_g(tiny_spec());
+
+  auto synth = [&](const char* engine) {
+    svc::Json req = svc::Json::object();
+    req.set("op", "synth");
+    req.set("g", g_text);
+    req.set("method", "modular");
+    if (engine != nullptr) req.set("engine", engine);
+    return svc::Json::parse(service.handle_line(req.dump()));
+  };
+
+  // Both engines synthesize the spec; their cache digests must differ, and
+  // the quality columns must agree (the engines disagree only on effort).
+  const svc::Json dpll = synth("dpll");
+  const svc::Json cdcl = synth("cdcl");
+  ASSERT_TRUE(dpll.get_bool("ok", false)) << dpll.dump();
+  ASSERT_TRUE(cdcl.get_bool("ok", false)) << cdcl.dump();
+  EXPECT_NE(dpll.get_string("digest", "x"), cdcl.get_string("digest", "x"));
+  const svc::Json* da = dpll.find("artifact");
+  const svc::Json* ca = cdcl.find("artifact");
+  ASSERT_NE(da, nullptr);
+  ASSERT_NE(ca, nullptr);
+  EXPECT_EQ(da->get_int("literals", -1), ca->get_int("literals", -2));
+  EXPECT_EQ(da->get_int("final_states", -1), ca->get_int("final_states", -2));
+
+  // Omitted engine defaults to dpll: same digest, now a cache hit.
+  const svc::Json dflt = synth(nullptr);
+  ASSERT_TRUE(dflt.get_bool("ok", false)) << dflt.dump();
+  EXPECT_EQ(dflt.get_string("digest", "x"), dpll.get_string("digest", "y"));
+  EXPECT_TRUE(dflt.get_bool("cached", false));
+
+  // An unknown engine is a bad request, not a silent default.
+  const svc::Json bad = synth("quantum");
+  EXPECT_FALSE(bad.get_bool("ok", true));
+  EXPECT_EQ(bad.get_string("kind", ""), "bad_request");
+  EXPECT_NE(bad.get_string("error", "").find("engine"), std::string::npos) << bad.dump();
 }
 
 TEST(SvcService, DrainOpSetsTheFlag) {
