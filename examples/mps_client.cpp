@@ -1,11 +1,16 @@
-// mps_client: blocking client for the mps_serve daemon.
+// mps_client: blocking client for the mps_serve daemon / mps_frontdoor.
 //
-//   mps_client --socket S synth FILE.g [--method modular|direct|lavagno]
+//   mps_client --socket PATH | --connect HOST:PORT|PATH
+//              synth FILE.g [--method modular|direct|lavagno]
 //              [--engine dpll|cdcl] [--threads N] [--deadline SECONDS]
+//              [--timeout-s S] [--retries N]
 //              [--out-pla <prefix>] [--out-verilog <file>] [--quiet]
-//   mps_client --socket S ping
-//   mps_client --socket S stats
-//   mps_client --socket S drain
+//   mps_client (--socket PATH | --connect TARGET) ping|stats|drain
+//
+// --timeout-s bounds both the connect and every response wait: a dead or
+// hung server yields a clean error + exit 1 instead of blocking forever.
+// --retries N retries a refused connect with bounded backoff (a worker
+// that is restarting).
 //
 // `synth` prints the same report mps_synth prints for the same spec and
 // method — identical except the seconds field, which is the daemon's
@@ -30,10 +35,12 @@ using namespace mps;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mps_client --socket S synth FILE.g [--method modular|direct|lavagno]\n"
-               "                  [--engine dpll|cdcl] [--threads N] [--deadline SECONDS]\n"
-               "                  [--out-pla <prefix>] [--out-verilog <file>] [--quiet]\n"
-               "       mps_client --socket S ping|stats|drain\n");
+               "usage: mps_client (--socket PATH | --connect HOST:PORT|PATH) synth FILE.g\n"
+               "                  [--method modular|direct|lavagno] [--engine dpll|cdcl]\n"
+               "                  [--threads N] [--deadline SECONDS] [--timeout-s S]\n"
+               "                  [--retries N] [--out-pla <prefix>] [--out-verilog <file>]\n"
+               "                  [--quiet]\n"
+               "       mps_client (--socket PATH | --connect TARGET) ping|stats|drain\n");
   return 2;
 }
 
@@ -55,8 +62,9 @@ std::string read_file(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string socket_path;
+  std::string target;
   std::string op;
+  svc::ClientOptions copts;
   std::string spec_path;
   std::string method = "modular";
   std::string engine;
@@ -69,10 +77,30 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
-    if (arg == "--socket") {
+    if (arg == "--socket" || arg == "--connect") {
       const char* v = next();
       if (v == nullptr) return usage();
-      socket_path = v;
+      target = arg == "--socket" ? "unix:" + std::string(v) : std::string(v);
+    } else if (arg == "--timeout-s") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      char* end = nullptr;
+      const double s = std::strtod(v, &end);
+      if (end == v || *end != '\0' || s <= 0) {
+        std::fprintf(stderr, "error: --timeout-s expects positive seconds, got '%s'\n", v);
+        return 2;
+      }
+      copts.connect_timeout_s = s;
+      copts.io_timeout_s = s;
+    } else if (arg == "--retries") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      const auto n = util::parse_int(v, 0, 100);
+      if (!n.has_value()) {
+        std::fprintf(stderr, "error: --retries expects an integer in 0..100, got '%s'\n", v);
+        return 2;
+      }
+      copts.connect_attempts = 1 + static_cast<int>(*n);
     } else if (arg == "--method") {
       const char* v = next();
       if (v == nullptr) return usage();
@@ -124,10 +152,10 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
-  if (socket_path.empty() || op.empty()) return usage();
+  if (target.empty() || op.empty()) return usage();
 
   try {
-    svc::Client client(socket_path);
+    svc::Client client(target, copts);
 
     if (op == "ping" || op == "stats" || op == "drain") {
       svc::Json req = svc::Json::object();

@@ -1,0 +1,116 @@
+// mps_frontdoor: the fleet's load-balancing front door — net::FrontDoor
+// behind a CLI.
+//
+//   mps_frontdoor --listen HOST:PORT|PATH --worker HOST:PORT|PATH
+//                 [--worker ...] [--backlog N] [--max-request-bytes B]
+//                 [--max-attempts N] [--worker-timeout-s S]
+//
+// Clients speak the exact mps_serve protocol to the front door; synth
+// requests are routed to workers by digest shard (owner first, least-loaded
+// fallback, bounded-backoff retry on worker death) and responses are
+// relayed byte-identically.  `--listen host:0` binds a kernel-assigned port
+// and prints it, so parallel test harnesses never race on port numbers.
+//
+// Shutdown: SIGTERM/SIGINT or {"op":"drain"} — stop accepting, answer
+// everything already received, exit 0.  Workers are left running.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "mps.hpp"
+
+namespace {
+
+using namespace mps;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mps_frontdoor --listen HOST:PORT|PATH --worker HOST:PORT|PATH\n"
+               "                     [--worker ...] [--backlog N] [--max-request-bytes B]\n"
+               "                     [--max-attempts N] [--worker-timeout-s S]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::FrontDoorOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--listen") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      opts.listen = v;
+    } else if (arg == "--worker") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      opts.workers.emplace_back(v);
+    } else if (arg == "--backlog") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      const auto n = util::parse_int(v, 1, 1 << 16);
+      if (!n.has_value()) {
+        std::fprintf(stderr, "error: --backlog expects an integer in 1..65536, got '%s'\n", v);
+        return 2;
+      }
+      opts.backlog = static_cast<int>(*n);
+    } else if (arg == "--max-request-bytes") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      const auto n = util::parse_int(v, 1, 1ll << 32);
+      if (!n.has_value()) {
+        std::fprintf(stderr, "error: --max-request-bytes expects a positive integer, got '%s'\n",
+                     v);
+        return 2;
+      }
+      opts.max_line_bytes = static_cast<std::size_t>(*n);
+    } else if (arg == "--max-attempts") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      const auto n = util::parse_int(v, 1, 64);
+      if (!n.has_value()) {
+        std::fprintf(stderr, "error: --max-attempts expects an integer in 1..64, got '%s'\n", v);
+        return 2;
+      }
+      opts.max_attempts = static_cast<int>(*n);
+    } else if (arg == "--worker-timeout-s") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      char* end = nullptr;
+      const double s = std::strtod(v, &end);
+      if (end == v || *end != '\0' || s <= 0) {
+        std::fprintf(stderr, "error: --worker-timeout-s expects seconds, got '%s'\n", v);
+        return 2;
+      }
+      opts.worker_io_timeout_s = s;
+    } else {
+      std::fprintf(stderr, "error: unknown flag: %s\n", arg.c_str());
+      return usage();
+    }
+  }
+  if (opts.listen.empty()) {
+    std::fprintf(stderr, "error: --listen is required\n");
+    return usage();
+  }
+  if (opts.workers.empty()) {
+    std::fprintf(stderr, "error: at least one --worker is required\n");
+    return usage();
+  }
+
+  try {
+    net::FrontDoor door(opts);
+    door.start();
+    door.install_signal_handlers();
+    std::printf("mps_frontdoor: listening on %s (%zu workers, max-attempts=%d)\n",
+                door.bound_endpoint().str().c_str(), opts.workers.size(), opts.max_attempts);
+    std::fflush(stdout);  // let wrappers parse the bound endpoint
+    door.run();
+    std::printf("mps_frontdoor: drained, exiting\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

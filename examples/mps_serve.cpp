@@ -1,11 +1,15 @@
 // mps_serve: the synthesis daemon — svc::Server behind a CLI.
 //
-//   mps_serve --socket PATH [--threads N] [--cache-dir DIR] [--queue-cap K]
-//             [--mem-entries M] [--trace FILE]
+//   mps_serve --socket PATH | --listen HOST:PORT|PATH
+//             [--threads N] [--cache-dir DIR] [--queue-cap K]
+//             [--mem-entries M] [--backlog N] [--max-request-bytes B]
+//             [--trace FILE]
 //
-// Speaks newline-delimited JSON over a Unix domain socket (one request
-// object per line, one response per line; see src/svc/service.hpp and
-// DESIGN.md §10 for the grammar).  Ops: ping, synth, stats, drain.
+// Speaks newline-delimited JSON over a Unix domain socket (--socket) or TCP
+// (--listen host:port; port 0 binds a kernel-assigned port, reported on the
+// "listening on" line).  One request object per line, one response per
+// line; see src/svc/service.hpp and DESIGN.md §10–11 for the grammar.
+// Ops: ping, version, synth, stats, drain.
 //
 // Shutdown: SIGTERM/SIGINT or a {"op":"drain"} request triggers a graceful
 // drain — stop accepting, answer everything already admitted, exit 0.
@@ -25,8 +29,10 @@ using namespace mps;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mps_serve --socket PATH [--threads N] [--cache-dir DIR]\n"
-               "                 [--queue-cap K] [--mem-entries M] [--trace FILE]\n");
+               "usage: mps_serve --socket PATH | --listen HOST:PORT|PATH\n"
+               "                 [--threads N] [--cache-dir DIR] [--queue-cap K]\n"
+               "                 [--mem-entries M] [--backlog N] [--max-request-bytes B]\n"
+               "                 [--trace FILE]\n");
   return 2;
 }
 
@@ -43,6 +49,29 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       opts.socket_path = v;
+    } else if (arg == "--listen") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      opts.listen = v;
+    } else if (arg == "--backlog") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      const auto n = util::parse_int(v, 1, 1 << 16);
+      if (!n.has_value()) {
+        std::fprintf(stderr, "error: --backlog expects an integer in 1..65536, got '%s'\n", v);
+        return 2;
+      }
+      opts.backlog = static_cast<int>(*n);
+    } else if (arg == "--max-request-bytes") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      const auto n = util::parse_int(v, 1, 1ll << 32);
+      if (!n.has_value()) {
+        std::fprintf(stderr,
+                     "error: --max-request-bytes expects a positive integer, got '%s'\n", v);
+        return 2;
+      }
+      opts.max_line_bytes = static_cast<std::size_t>(*n);
     } else if (arg == "--threads") {
       const char* v = next();
       if (v == nullptr) return usage();
@@ -84,8 +113,8 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
-  if (opts.socket_path.empty()) {
-    std::fprintf(stderr, "error: --socket PATH is required\n");
+  if (opts.socket_path.empty() && opts.listen.empty()) {
+    std::fprintf(stderr, "error: --socket PATH or --listen HOST:PORT is required\n");
     return usage();
   }
 
@@ -99,7 +128,7 @@ int main(int argc, char** argv) {
     server.start();
     server.install_signal_handlers();
     std::printf("mps_serve: listening on %s (threads=%u, queue-cap=%zu, cache=%s)\n",
-                opts.socket_path.c_str(),
+                server.bound_endpoint().str().c_str(),
                 opts.service.sched.num_threads == 0 ? std::thread::hardware_concurrency()
                                                     : opts.service.sched.num_threads,
                 opts.service.sched.queue_cap,

@@ -1,0 +1,412 @@
+#include "net/frontdoor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <thread>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/obs.hpp"
+#include "svc/service.hpp"
+#include "util/common.hpp"
+#include "util/text.hpp"
+
+namespace mps::net {
+
+namespace {
+
+constexpr std::size_t kLatencyRing = 8192;
+
+FrontDoor* g_signal_frontdoor = nullptr;
+int g_signal_wake_fd = -1;
+
+void handle_term_signal(int) {
+  if (g_signal_wake_fd >= 0) {
+    const char b = 'T';
+    [[maybe_unused]] ssize_t n = ::write(g_signal_wake_fd, &b, 1);
+  }
+}
+
+}  // namespace
+
+FrontDoor::FrontDoor(const FrontDoorOptions& opts) : opts_(opts) {
+  if (opts_.workers.empty()) throw util::Error("frontdoor: no workers configured");
+  std::vector<Endpoint> eps;
+  eps.reserve(opts_.workers.size());
+  for (const auto& w : opts_.workers) eps.push_back(Endpoint::parse(w));
+  table_ = std::make_unique<WorkerTable>(std::move(eps), opts_.backoff);
+  latencies_.reserve(kLatencyRing);
+}
+
+FrontDoor::~FrontDoor() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (int fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+  if (g_signal_frontdoor == this) {
+    g_signal_frontdoor = nullptr;
+    g_signal_wake_fd = -1;
+  }
+  for (auto& t : connections_) {
+    if (t.joinable()) t.join();
+  }
+  if (endpoint_.kind == Endpoint::Kind::Unix && !endpoint_.path.empty()) {
+    ::unlink(endpoint_.path.c_str());
+  }
+}
+
+void FrontDoor::start() {
+  MPS_ASSERT(listen_fd_ < 0);  // start called twice
+  endpoint_ = Endpoint::parse(opts_.listen);
+  if (::pipe(wake_pipe_) != 0) {
+    throw util::Error(util::format("frontdoor: pipe: %s", std::strerror(errno)));
+  }
+  listen_fd_ = listen_on(endpoint_, opts_.backlog);
+  bound_ = mps::net::bound_endpoint(listen_fd_, endpoint_);
+}
+
+void FrontDoor::install_signal_handlers() {
+  MPS_ASSERT(wake_pipe_[1] >= 0);  // install_signal_handlers before start
+  g_signal_frontdoor = this;
+  g_signal_wake_fd = wake_pipe_[1];
+  struct sigaction sa{};
+  sa.sa_handler = handle_term_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+void FrontDoor::request_drain() {
+  draining_.store(true);
+  if (wake_pipe_[1] >= 0) {
+    const char b = 'D';
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+  }
+}
+
+void FrontDoor::run() {
+  MPS_ASSERT(listen_fd_ >= 0);  // run before start
+  obs::Span span("net.frontdoor.run");
+
+  while (!draining_.load()) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw util::Error(util::format("frontdoor: poll: %s", std::strerror(errno)));
+    }
+    if (fds[1].revents != 0) {
+      char buf[16];
+      [[maybe_unused]] ssize_t n = ::read(wake_pipe_[0], buf, sizeof(buf));
+      draining_.store(true);
+      break;
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int conn = ::accept(listen_fd_, nullptr, nullptr);
+      if (conn < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        throw util::Error(util::format("frontdoor: accept: %s", std::strerror(errno)));
+      }
+      obs::counter_add("net.accepted", 1);
+      const SessionLimits limits{opts_.max_line_bytes, opts_.frame_timeout_s,
+                                 opts_.write_timeout_s};
+      auto session = std::make_shared<Session>(conn, limits);
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      connections_.emplace_back(
+          [this, s = std::move(session)]() mutable { connection_loop(std::move(s)); });
+    }
+  }
+
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (;;) {
+    std::vector<std::thread> batch;
+    {
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      batch.swap(connections_);
+    }
+    if (batch.empty()) break;
+    for (auto& t : batch) t.join();
+  }
+}
+
+void FrontDoor::connection_loop(std::shared_ptr<Session> session) {
+  obs::set_thread_name("fd-conn");
+  // Downstream worker connections are per-session: each client connection
+  // thread dials its own, so no two threads ever interleave frames on one
+  // worker socket.  Dropped on any failure, re-dialed on next use.
+  std::unordered_map<std::size_t, svc::Client> pool;
+
+  auto handle = [&](const std::string& line) -> bool {
+    obs::Span span("net.request");
+    obs::counter_add("net.requests", 1);
+    const std::string response = handle_line(line, pool);
+    if (session->write_line(response) != IoStatus::Ok) return false;
+    session->advance(SessionState::Streaming);
+    return true;
+  };
+
+  bool open = true;
+  while (open) {
+    std::string line;
+    switch (session->read_line(&line, Deadline::after(0.2))) {
+      case Session::Read::Line:
+        open = handle(line);
+        break;
+      case Session::Read::Idle:
+        break;
+      case Session::Read::Oversized:
+        obs::counter_add("net.oversized", 1);
+        session->write_line(svc::protocol_error(
+            "", "bad_request",
+            util::format("request line exceeds %zu bytes", opts_.max_line_bytes)));
+        open = false;
+        break;
+      case Session::Read::FrameTimeout:
+        obs::counter_add("net.frame_timeout", 1);
+        session->write_line(svc::protocol_error(
+            "", "bad_request",
+            util::format("frame incomplete after %.1f s", opts_.frame_timeout_s)));
+        open = false;
+        break;
+      case Session::Read::Eof:
+      case Session::Read::Error:
+        open = false;
+        break;
+    }
+    if (open && draining_.load()) {
+      session->advance(SessionState::Draining);
+      for (;;) {
+        const auto st = session->read_line(&line, Deadline::after(0.001));
+        if (st != Session::Read::Line || !handle(line)) break;
+      }
+      open = false;
+    }
+  }
+}
+
+std::string FrontDoor::handle_line(const std::string& line,
+                                   std::unordered_map<std::size_t, svc::Client>& pool) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+  }
+  svc::Json req;
+  try {
+    req = svc::Json::parse(line);
+  } catch (const util::Error& e) {
+    return svc::protocol_error("", "bad_request", e.what());
+  }
+  if (!req.is_object()) {
+    return svc::protocol_error("", "bad_request", "request must be an object");
+  }
+  const std::string op = req.get_string("op", "");
+
+  try {
+    if (op == "ping") {
+      svc::Json j = svc::Json::object();
+      j.set("ok", svc::Json(true));
+      j.set("op", "ping");
+      return j.dump();
+    }
+    if (op == "version") {
+      const std::int64_t asked = req.get_int("protocol", svc::kProtocolVersion);
+      if (asked != svc::kProtocolVersion) {
+        svc::Json j = svc::Json::parse(svc::protocol_error(
+            "version", "version",
+            util::format("protocol mismatch: client %lld, server %lld",
+                         static_cast<long long>(asked),
+                         static_cast<long long>(svc::kProtocolVersion))));
+        j.set("protocol", svc::Json(svc::kProtocolVersion));
+        return j.dump();
+      }
+      svc::Json j = svc::Json::object();
+      j.set("ok", svc::Json(true));
+      j.set("op", "version");
+      j.set("protocol", svc::Json(svc::kProtocolVersion));
+      return j.dump();
+    }
+    if (op == "stats") return stats_json().dump();
+    if (op == "drain") {
+      request_drain();
+      svc::Json j = svc::Json::object();
+      j.set("ok", svc::Json(true));
+      j.set("op", "drain");
+      return j.dump();
+    }
+    if (op == "synth") return forward_synth(req, pool);
+    return svc::protocol_error(op, "bad_request", "unknown op: '" + op + "'");
+  } catch (const std::exception& e) {
+    return svc::protocol_error(op, "internal", e.what());
+  }
+}
+
+std::string FrontDoor::forward_synth(const svc::Json& req,
+                                     std::unordered_map<std::size_t, svc::Client>& pool) {
+  obs::Span span("net.route");
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.synth_requests;
+  }
+  // Validate + digest locally: malformed requests are answered here with
+  // the same error a worker would produce, and never consume an attempt.
+  std::string error_line;
+  const auto parsed = svc::parse_synth_request(req, &error_line);
+  if (!parsed.has_value()) return error_line;
+  const std::string& digest = parsed->digest;
+
+  // End-to-end deadline: a request that budgets its synthesis also bounds
+  // how long we will wait for any worker to answer it.
+  const double wait_s = parsed->options.deadline_s > 0
+                            ? parsed->options.deadline_s + opts_.deadline_margin_s
+                            : opts_.worker_io_timeout_s;
+
+  util::Timer timer;
+  std::uint64_t tried = 0;
+  double backoff = opts_.backoff.base_s;
+  std::string last_error;
+  const int attempts = std::max(opts_.max_attempts, 1);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    bool was_owner = false;
+    const std::size_t idx = table_->pick(digest, tried, &was_owner);
+    if (idx == table_->size()) break;  // every worker already failed this request
+    if (attempt > 0) {
+      obs::counter_add("net.retries", 1);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.retries;
+    }
+    {
+      obs::counter_add(was_owner ? "net.routed.shard_hit" : "net.routed.fallback", 1);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++(was_owner ? stats_.shard_hits : stats_.shard_fallbacks);
+    }
+
+    table_->begin_request(idx);
+    try {
+      auto it = pool.find(idx);
+      if (it == pool.end()) {
+        svc::ClientOptions copts;
+        copts.connect_timeout_s = opts_.worker_connect_timeout_s;
+        copts.connect_attempts = 2;
+        copts.backoff_s = opts_.backoff.base_s;
+        copts.backoff_max_s = opts_.backoff.max_s;
+        copts.handshake = true;  // refuse to route through a version-skewed worker
+        it = pool.emplace(idx, svc::Client(table_->endpoint(idx), copts)).first;
+      }
+      const svc::Json resp = it->second.request(req, wait_s);
+      table_->end_request(idx);
+
+      if (!resp.get_bool("ok", false) && resp.get_string("kind", "") == "overloaded") {
+        // The worker is healthy but full: try a sibling, no backoff mark.
+        tried |= 1ull << idx;
+        last_error = "worker " + table_->endpoint(idx).str() + " overloaded";
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        backoff = std::min(backoff * 2.0, opts_.backoff.max_s);
+        continue;
+      }
+      table_->report_success(idx);
+      record_latency(timer.seconds());
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.synth_relayed;
+      }
+      // Relay verbatim: dump(parse(x)) is byte-identical for our JSON, so
+      // clients cannot tell the front door from a direct worker connection.
+      return resp.dump();
+    } catch (const util::Error& e) {
+      // Connect/send/recv/timeout failure: the worker is suspect.  Drop the
+      // cached connection, put the worker on backoff, fail over.
+      table_->end_request(idx);
+      table_->report_failure(idx);
+      pool.erase(idx);
+      tried |= 1ull << idx;
+      last_error = e.what();
+      obs::counter_add("net.failover", 1);
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.failovers;
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff = std::min(backoff * 2.0, opts_.backoff.max_s);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.synth_unavailable;
+  }
+  return svc::protocol_error(
+      "synth", "unavailable",
+      last_error.empty() ? "no worker available" : "no worker available: " + last_error);
+}
+
+void FrontDoor::record_latency(double seconds) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++latency_count_;
+  if (latencies_.size() < kLatencyRing) {
+    latencies_.push_back(seconds);
+  } else {
+    latencies_[latency_next_] = seconds;
+    latency_next_ = (latency_next_ + 1) % kLatencyRing;
+  }
+}
+
+FrontDoorStats FrontDoor::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+svc::Json FrontDoor::stats_json() const {
+  svc::Json j = svc::Json::object();
+  j.set("ok", svc::Json(true));
+  j.set("op", "stats");
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    j.set("requests", svc::Json(stats_.requests));
+    j.set("synth_requests", svc::Json(stats_.synth_requests));
+    j.set("synth_relayed", svc::Json(stats_.synth_relayed));
+    j.set("synth_unavailable", svc::Json(stats_.synth_unavailable));
+    j.set("shard_hits", svc::Json(stats_.shard_hits));
+    j.set("shard_fallbacks", svc::Json(stats_.shard_fallbacks));
+    j.set("retries", svc::Json(stats_.retries));
+    j.set("failovers", svc::Json(stats_.failovers));
+
+    svc::Json lat = svc::Json::object();
+    lat.set("count", svc::Json(latency_count_));
+    std::vector<double> sorted = latencies_;
+    if (!sorted.empty()) {
+      std::sort(sorted.begin(), sorted.end());
+      const auto pct = [&](double p) {
+        const std::size_t i =
+            static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+        return sorted[i];
+      };
+      lat.set("p50_ms", svc::Json(pct(0.50) * 1e3));
+      lat.set("p99_ms", svc::Json(pct(0.99) * 1e3));
+      lat.set("max_ms", svc::Json(sorted.back() * 1e3));
+    }
+    j.set("latency", std::move(lat));
+  }
+  svc::Json workers = svc::Json::array();
+  for (std::size_t i = 0; i < table_->size(); ++i) {
+    svc::Json w = svc::Json::object();
+    w.set("endpoint", table_->endpoint(i).str());
+    w.set("inflight", svc::Json(table_->inflight(i)));
+    w.set("routed", svc::Json(table_->routed(i)));
+    w.set("failures", svc::Json(table_->failures(i)));
+    w.set("available", svc::Json(table_->available(i)));
+    workers.push_back(std::move(w));
+  }
+  j.set("workers", std::move(workers));
+  return j;
+}
+
+}  // namespace mps::net

@@ -1,0 +1,131 @@
+// net::FrontDoor — the fleet's load-balancing entry point.
+//
+// Clients connect here (TCP or AF_UNIX) and speak the exact mps_serve
+// protocol; the front door routes every synth request to a worker daemon by
+// digest shard (net/shard.hpp) and relays the worker's response verbatim —
+// so a response through the front door is byte-identical to one from a
+// direct worker connection, which is byte-identical to local mps_synth.
+//
+// Request handling:
+//   ping / version / stats / drain  — answered locally (stats reports the
+//       front door's routing/latency/worker table, not a worker's);
+//   synth — validated locally (a malformed spec never ties up a worker),
+//       digested, routed to the shard owner; on owner failure or backoff,
+//       to the least-loaded live worker (a "fallback" — fleet-wide
+//       single-flight degrades gracefully, correctness never depends on
+//       it).  A worker that dies mid-request triggers a bounded-backoff
+//       retry on a different worker: synthesis is idempotent and content-
+//       addressed, so retries are always safe.  Per-request deadlines are
+//       enforced end-to-end: the worker maps deadline_s onto its solver
+//       deadline, and the front door bounds its own wait to deadline_s plus
+//       a grace margin so a wedged worker cannot absorb a client forever.
+//
+// Shutdown mirrors svc::Server: SIGTERM / {"op":"drain"} stops accepting,
+// answers everything already received, then run() returns (workers keep
+// running — drain them separately).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/endpoint.hpp"
+#include "net/session.hpp"
+#include "net/shard.hpp"
+#include "svc/client.hpp"
+#include "svc/json.hpp"
+
+namespace mps::net {
+
+struct FrontDoorOptions {
+  /// Client-facing endpoint text; TCP port 0 = kernel-assigned.
+  std::string listen;
+  /// Worker daemon endpoints (>=1); index order defines the shard map.
+  std::vector<std::string> workers;
+  int backlog = 64;
+  std::size_t max_line_bytes = 8u << 20;
+  double frame_timeout_s = 30.0;
+  double write_timeout_s = 30.0;
+  /// Per-attempt connect timeout towards a worker.
+  double worker_connect_timeout_s = 5.0;
+  /// Response wait for requests without a deadline (a synthesis can
+  /// legitimately run minutes; this only bounds a truly wedged worker).
+  double worker_io_timeout_s = 600.0;
+  /// A request with deadline_s waits deadline_s + this grace for the
+  /// worker's answer (the worker needs a moment to package the artifact).
+  double deadline_margin_s = 10.0;
+  /// Max routing attempts per request (first try + failovers).
+  int max_attempts = 3;
+  WorkerBackoff backoff;
+};
+
+struct FrontDoorStats {
+  std::int64_t requests = 0;        ///< frames received (all ops)
+  std::int64_t synth_requests = 0;
+  std::int64_t synth_relayed = 0;   ///< worker answers relayed to clients
+  std::int64_t synth_unavailable = 0;
+  std::int64_t shard_hits = 0;      ///< routed to the digest's shard owner
+  std::int64_t shard_fallbacks = 0; ///< owner down/backing off: least-loaded
+  std::int64_t retries = 0;         ///< attempts after the first
+  std::int64_t failovers = 0;       ///< worker failures that moved a request
+};
+
+class FrontDoor {
+ public:
+  explicit FrontDoor(const FrontDoorOptions& opts);
+  ~FrontDoor();
+
+  FrontDoor(const FrontDoor&) = delete;
+  FrontDoor& operator=(const FrontDoor&) = delete;
+
+  /// Bind + listen; throws util::Error on failure (workers are dialed
+  /// lazily per request, so workers may start after the front door).
+  void start();
+  /// Accept and serve until a drain is requested; graceful (see above).
+  void run();
+  void request_drain();
+  /// SIGTERM/SIGINT -> request_drain() (one instance per process).
+  void install_signal_handlers();
+
+  /// Valid after start(); TCP port 0 resolved to the bound port.
+  const Endpoint& bound_endpoint() const { return bound_; }
+
+  FrontDoorStats stats() const;
+  const WorkerTable& workers() const { return *table_; }
+  /// The stats-op response body (also what tests inspect): counters,
+  /// latency percentiles, per-worker table.
+  svc::Json stats_json() const;
+
+ private:
+  void connection_loop(std::shared_ptr<Session> session);
+  /// One request line in, one response line out (never throws).
+  std::string handle_line(const std::string& line,
+                          std::unordered_map<std::size_t, svc::Client>& pool);
+  std::string forward_synth(const svc::Json& req,
+                            std::unordered_map<std::size_t, svc::Client>& pool);
+  void record_latency(double seconds);
+
+  FrontDoorOptions opts_;
+  std::unique_ptr<WorkerTable> table_;
+  Endpoint endpoint_;
+  Endpoint bound_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> draining_{false};
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connections_;
+
+  mutable std::mutex stats_mutex_;
+  FrontDoorStats stats_;
+  /// Bounded ring of recent synth latencies (seconds) for p50/p99.
+  std::vector<double> latencies_;
+  std::size_t latency_next_ = 0;
+  std::int64_t latency_count_ = 0;
+};
+
+}  // namespace mps::net

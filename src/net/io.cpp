@@ -1,0 +1,90 @@
+#include "net/io.hpp"
+
+#include <cerrno>
+
+#include <poll.h>
+#include <sys/socket.h>
+
+namespace mps::net {
+
+Deadline Deadline::after(double seconds) {
+  Deadline d;
+  if (seconds > 0) {
+    d.armed_ = true;
+    d.at_ = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(seconds));
+  }
+  return d;
+}
+
+bool Deadline::expired() const {
+  return armed_ && std::chrono::steady_clock::now() >= at_;
+}
+
+int Deadline::poll_ms() const {
+  if (!armed_) return -1;
+  const auto left = at_ - std::chrono::steady_clock::now();
+  if (left <= std::chrono::steady_clock::duration::zero()) return 0;
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(left).count();
+  // Round up so a 0.4 ms remainder polls 1 ms instead of busy-spinning at 0.
+  return static_cast<int>(ms) + 1;
+}
+
+Deadline Deadline::min(const Deadline& other) const {
+  if (never()) return other;
+  if (other.never()) return *this;
+  return at_ <= other.at_ ? *this : other;
+}
+
+namespace {
+
+/// Poll `fd` for `events` until the deadline; Ok = ready.
+IoStatus wait_ready(int fd, short events, const Deadline& deadline) {
+  for (;;) {
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, deadline.poll_ms());
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::Error;
+    }
+    if (rc == 0) return IoStatus::Timeout;
+    // Readability/writability OR an error/hangup: let the actual read/write
+    // observe and classify it (POLLHUP with pending data must still read).
+    return IoStatus::Ok;
+  }
+}
+
+}  // namespace
+
+IoStatus write_all(int fd, std::string_view data, const Deadline& deadline) {
+  while (!data.empty()) {
+    const IoStatus ready = wait_ready(fd, POLLOUT, deadline);
+    if (ready != IoStatus::Ok) return ready;
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return IoStatus::Error;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return IoStatus::Ok;
+}
+
+IoStatus read_chunk(int fd, std::string* buf, const Deadline& deadline) {
+  for (;;) {
+    const IoStatus ready = wait_ready(fd, POLLIN, deadline);
+    if (ready != IoStatus::Ok) return ready;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return IoStatus::Error;
+    }
+    if (n == 0) return IoStatus::Eof;
+    buf->append(chunk, static_cast<std::size_t>(n));
+    return IoStatus::Ok;
+  }
+}
+
+}  // namespace mps::net

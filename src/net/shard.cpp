@@ -1,0 +1,104 @@
+#include "net/shard.hpp"
+
+#include "util/common.hpp"
+
+namespace mps::net {
+
+std::size_t shard_of(std::string_view digest_hex, std::size_t num_shards) {
+  MPS_ASSERT(num_shards > 0);
+  MPS_ASSERT(digest_hex.size() >= 8);
+  std::uint32_t prefix = 0;
+  for (int i = 0; i < 8; ++i) {
+    const char c = digest_hex[static_cast<std::size_t>(i)];
+    std::uint32_t nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      MPS_ASSERT(false && "shard_of: non-hex digest");
+      nibble = 0;
+    }
+    prefix = (prefix << 4) | nibble;
+  }
+  return prefix % num_shards;
+}
+
+WorkerTable::WorkerTable(std::vector<Endpoint> workers, const WorkerBackoff& backoff)
+    : backoff_(backoff) {
+  MPS_ASSERT(!workers.empty());
+  MPS_ASSERT(workers.size() <= 64);  // tried_mask is a uint64 bitset
+  for (auto& ep : workers) workers_.emplace_back(std::move(ep));
+}
+
+std::int64_t WorkerTable::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::size_t WorkerTable::owner(std::string_view digest_hex) const {
+  return shard_of(digest_hex, workers_.size());
+}
+
+bool WorkerTable::available(std::size_t i) const {
+  return workers_[i].retry_at_ns.load(std::memory_order_relaxed) <= now_ns();
+}
+
+std::size_t WorkerTable::pick(std::string_view digest_hex, std::uint64_t tried_mask,
+                              bool* was_owner) const {
+  const std::size_t own = owner(digest_hex);
+  const auto untried = [&](std::size_t i) { return (tried_mask & (1ull << i)) == 0; };
+  if (untried(own) && available(own)) {
+    *was_owner = true;
+    return own;
+  }
+  *was_owner = false;
+  // Least-loaded available worker, then (all backing off) least-loaded of
+  // the untried — a request only fails over to size() with no worker left.
+  std::size_t best = workers_.size();
+  for (int pass = 0; pass < 2 && best == workers_.size(); ++pass) {
+    std::int64_t best_load = 0;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      if (!untried(i)) continue;
+      if (pass == 0 && !available(i)) continue;
+      const std::int64_t load = workers_[i].inflight.load(std::memory_order_relaxed);
+      if (best == workers_.size() || load < best_load ||
+          (load == best_load && i < best)) {
+        best = i;
+        best_load = load;
+      }
+    }
+  }
+  if (best == own) *was_owner = true;  // owner was tried-last but untried
+  return best;
+}
+
+void WorkerTable::begin_request(std::size_t i) {
+  workers_[i].inflight.fetch_add(1, std::memory_order_relaxed);
+  workers_[i].routed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void WorkerTable::end_request(std::size_t i) {
+  workers_[i].inflight.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void WorkerTable::report_success(std::size_t i) {
+  workers_[i].failure_streak.store(0, std::memory_order_relaxed);
+  workers_[i].retry_at_ns.store(0, std::memory_order_relaxed);
+}
+
+void WorkerTable::report_failure(std::size_t i) {
+  Worker& w = workers_[i];
+  w.failures.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t streak = w.failure_streak.fetch_add(1, std::memory_order_relaxed) + 1;
+  double delay = backoff_.base_s;
+  for (std::int64_t k = 1; k < streak && delay < backoff_.max_s; ++k) delay *= 2.0;
+  if (delay > backoff_.max_s) delay = backoff_.max_s;
+  w.retry_at_ns.store(now_ns() + static_cast<std::int64_t>(delay * 1e9),
+                      std::memory_order_relaxed);
+}
+
+}  // namespace mps::net

@@ -1,0 +1,94 @@
+// net::shard — digest-prefix sharding of the content-addressed result space
+// across worker daemons, plus the live worker table the front door routes
+// with.
+//
+// Routing invariant: shard_of() is a pure function of the request digest and
+// the fleet size, so every front door (and every retry) sends a given digest
+// to the same worker while that worker is alive.  That makes the worker's
+// single-flight scheduler and content-addressed cache *fleet-wide*: N
+// identical concurrent requests, arriving via any mix of client connections,
+// collapse to one synthesis on one node.
+//
+// Failure handling: a worker that fails an attempt is put on backoff
+// (exponential, bounded); while it is backing off, pick() routes its shards
+// to the least-loaded available worker instead (counted as a fallback — the
+// dedup guarantee degrades to per-surviving-worker until the owner heals,
+// correctness never depends on it).  A success clears the backoff.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string_view>
+#include <vector>
+
+#include "net/endpoint.hpp"
+
+namespace mps::net {
+
+/// Shard index for `digest_hex` (>=8 hex chars — svc digests are 64) among
+/// `num_shards` shards: the first 32 digest bits, reduced mod num_shards.
+/// SHA-256 prefixes are uniform, so shards balance without rehashing.
+std::size_t shard_of(std::string_view digest_hex, std::size_t num_shards);
+
+struct WorkerBackoff {
+  double base_s = 0.05;  ///< first backoff after a failure
+  double max_s = 2.0;    ///< cap; repeated failures double up to this
+};
+
+/// Shared, thread-safe view of the worker fleet: who owns which shard, who
+/// is backing off, who is least loaded.  Indexes are stable for the table's
+/// lifetime (the fleet is fixed at front-door start).
+class WorkerTable {
+ public:
+  WorkerTable(std::vector<Endpoint> workers, const WorkerBackoff& backoff = {});
+
+  std::size_t size() const { return workers_.size(); }
+  const Endpoint& endpoint(std::size_t i) const { return workers_[i].ep; }
+
+  /// The shard owner for `digest_hex` (ignores liveness).
+  std::size_t owner(std::string_view digest_hex) const;
+
+  /// Route one attempt: the shard owner when it is available and not in
+  /// `tried_mask` (bit i = worker i already failed this request); otherwise
+  /// the least-loaded available untried worker; otherwise the least-loaded
+  /// untried worker even if backing off (a request never gives up while an
+  /// untried worker exists).  Returns size() when every worker was tried.
+  /// `*was_owner` reports whether the pick is the shard owner (hit vs
+  /// fallback, for the stats).
+  std::size_t pick(std::string_view digest_hex, std::uint64_t tried_mask,
+                   bool* was_owner) const;
+
+  /// Attempt bookkeeping (drives least-loaded + backoff).
+  void begin_request(std::size_t i);
+  void end_request(std::size_t i);
+  void report_success(std::size_t i);
+  void report_failure(std::size_t i);
+
+  bool available(std::size_t i) const;  ///< not currently backing off
+  std::int64_t inflight(std::size_t i) const { return workers_[i].inflight.load(); }
+  std::int64_t routed(std::size_t i) const { return workers_[i].routed.load(); }
+  std::int64_t failures(std::size_t i) const { return workers_[i].failures.load(); }
+
+ private:
+  struct Worker {
+    explicit Worker(Endpoint e) : ep(std::move(e)) {}
+    Endpoint ep;
+    std::atomic<std::int64_t> inflight{0};
+    std::atomic<std::int64_t> routed{0};
+    std::atomic<std::int64_t> failures{0};
+    /// Consecutive failures (resets on success); scales the backoff.
+    std::atomic<std::int64_t> failure_streak{0};
+    /// steady_clock nanos-since-epoch until which the worker is skipped.
+    std::atomic<std::int64_t> retry_at_ns{0};
+  };
+
+  static std::int64_t now_ns();
+
+  /// deque: Worker holds atomics (immovable) and indexes must stay stable.
+  std::deque<Worker> workers_;
+  WorkerBackoff backoff_;
+};
+
+}  // namespace mps::net

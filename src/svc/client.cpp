@@ -1,32 +1,56 @@
 #include "svc/client.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
+#include "net/io.hpp"
+#include "svc/service.hpp"  // kProtocolVersion
 #include "util/common.hpp"
 #include "util/text.hpp"
 
 namespace mps::svc {
 
-Client::Client(const std::string& socket_path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
-    throw util::Error(util::format("svc: bad socket path: '%s'", socket_path.c_str()));
-  }
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+Client::Client(const std::string& target, const ClientOptions& opts)
+    : Client(net::Endpoint::parse(target), opts) {}
 
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) throw util::Error(util::format("svc: socket: %s", std::strerror(errno)));
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(fd_);
-    fd_ = -1;
-    throw util::Error(
-        util::format("svc: connect(%s): %s", socket_path.c_str(), std::strerror(err)));
+Client::Client(const net::Endpoint& endpoint, const ClientOptions& opts)
+    : endpoint_(endpoint), opts_(opts) {
+  connect();
+}
+
+void Client::connect() {
+  const int attempts = opts_.connect_attempts < 1 ? 1 : opts_.connect_attempts;
+  double backoff = opts_.backoff_s;
+  std::string last_error;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff = std::min(backoff * 2.0, opts_.backoff_max_s);
+    }
+    try {
+      fd_ = net::connect_to(endpoint_, opts_.connect_timeout_s);
+      break;
+    } catch (const util::Error& e) {
+      last_error = e.what();
+      fd_ = -1;
+    }
+  }
+  if (fd_ < 0) {
+    throw util::Error(util::format("svc: connect(%s) failed after %d attempt(s): %s",
+                                   endpoint_.str().c_str(), attempts, last_error.c_str()));
+  }
+  if (opts_.handshake) {
+    try {
+      version();
+    } catch (...) {
+      ::close(fd_);
+      fd_ = -1;
+      throw;
+    }
   }
 }
 
@@ -34,13 +58,19 @@ Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Client::Client(Client&& other) noexcept : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+Client::Client(Client&& other) noexcept
+    : endpoint_(std::move(other.endpoint_)),
+      opts_(other.opts_),
+      fd_(other.fd_),
+      buffer_(std::move(other.buffer_)) {
   other.fd_ = -1;
 }
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
+    endpoint_ = std::move(other.endpoint_);
+    opts_ = other.opts_;
     fd_ = other.fd_;
     buffer_ = std::move(other.buffer_);
     other.fd_ = -1;
@@ -48,20 +78,22 @@ Client& Client::operator=(Client&& other) noexcept {
   return *this;
 }
 
-Json Client::request(const Json& req) {
+Json Client::request(const Json& req, double timeout_s) {
   MPS_ASSERT(fd_ >= 0);  // request on closed client
+  const double budget = timeout_s > 0 ? timeout_s : opts_.io_timeout_s;
+  const net::Deadline deadline = net::Deadline::after(budget);
+
   std::string line = req.dump();
   line.push_back('\n');
-  const char* data = line.data();
-  std::size_t len = line.size();
-  while (len > 0) {
-    const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw util::Error(util::format("svc: send: %s", std::strerror(errno)));
-    }
-    data += n;
-    len -= static_cast<std::size_t>(n);
+  switch (net::write_all(fd_, line, deadline)) {
+    case net::IoStatus::Ok:
+      break;
+    case net::IoStatus::Timeout:
+      throw util::Error(util::format("svc: send to %s timed out after %.1f s",
+                                     endpoint_.str().c_str(), budget));
+    default:
+      throw util::Error(util::format("svc: send to %s failed: %s", endpoint_.str().c_str(),
+                                     std::strerror(errno)));
   }
 
   for (;;) {
@@ -71,14 +103,19 @@ Json Client::request(const Json& req) {
       buffer_.erase(0, nl + 1);
       return Json::parse(response);
     }
-    char chunk[4096];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw util::Error(util::format("svc: recv: %s", std::strerror(errno)));
+    switch (net::read_chunk(fd_, &buffer_, deadline)) {
+      case net::IoStatus::Ok:
+        break;
+      case net::IoStatus::Eof:
+        throw util::Error("svc: connection closed by daemon before response");
+      case net::IoStatus::Timeout:
+        throw util::Error(util::format("svc: no response from %s after %.1f s",
+                                       endpoint_.str().c_str(), budget));
+      case net::IoStatus::Error:
+        throw util::Error(
+            util::format("svc: recv from %s failed: %s", endpoint_.str().c_str(),
+                         std::strerror(errno)));
     }
-    if (n == 0) throw util::Error("svc: connection closed by daemon before response");
-    buffer_.append(chunk, static_cast<std::size_t>(n));
   }
 }
 
@@ -98,6 +135,19 @@ Json Client::drain() {
   Json j = Json::object();
   j.set("op", "drain");
   return request(j);
+}
+
+Json Client::version() {
+  Json j = Json::object();
+  j.set("op", "version");
+  j.set("protocol", Json(kProtocolVersion));
+  const Json resp = request(j, opts_.connect_timeout_s);
+  if (!resp.get_bool("ok", false)) {
+    throw util::Error(util::format(
+        "svc: %s: %s", endpoint_.str().c_str(),
+        resp.get_string("error", "protocol version handshake failed").c_str()));
+  }
+  return resp;
 }
 
 Json Client::synth(const std::string& g_text, const std::string& method, unsigned threads,

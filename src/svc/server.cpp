@@ -5,7 +5,6 @@
 
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include "obs/obs.hpp"
@@ -29,20 +28,6 @@ void handle_term_signal(int) {
   }
 }
 
-/// write() the whole buffer, retrying on EINTR / short writes.
-bool write_all(int fd, const char* data, std::size_t len) {
-  while (len > 0) {
-    const ssize_t n = ::write(fd, data, len);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += n;
-    len -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
 }  // namespace
 
 Server::Server(const ServerOptions& opts) : opts_(opts), service_(opts.service) {}
@@ -59,40 +44,26 @@ Server::~Server() {
   for (auto& t : connections_) {
     if (t.joinable()) t.join();
   }
-  if (!opts_.socket_path.empty()) ::unlink(opts_.socket_path.c_str());
+  if (endpoint_.kind == net::Endpoint::Kind::Unix && !endpoint_.path.empty()) {
+    ::unlink(endpoint_.path.c_str());
+  }
 }
 
 void Server::start() {
   MPS_ASSERT(listen_fd_ < 0);  // Server::start called twice
-  if (opts_.socket_path.empty()) throw util::Error("svc: empty socket path");
-
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (opts_.socket_path.size() >= sizeof(addr.sun_path)) {
-    throw util::Error(util::format("svc: socket path too long (%zu bytes, max %zu): %s",
-                                   opts_.socket_path.size(), sizeof(addr.sun_path) - 1,
-                                   opts_.socket_path.c_str()));
+  if (!opts_.socket_path.empty()) {
+    endpoint_ = net::Endpoint::parse("unix:" + opts_.socket_path);
+  } else if (!opts_.listen.empty()) {
+    endpoint_ = net::Endpoint::parse(opts_.listen);
+  } else {
+    throw util::Error("svc: no listen endpoint (set socket_path or listen)");
   }
-  std::memcpy(addr.sun_path, opts_.socket_path.c_str(), opts_.socket_path.size() + 1);
 
   if (::pipe(wake_pipe_) != 0) {
     throw util::Error(util::format("svc: pipe: %s", std::strerror(errno)));
   }
-
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    throw util::Error(util::format("svc: socket: %s", std::strerror(errno)));
-  }
-  // A stale socket file from a crashed daemon would make bind fail; replace it.
-  ::unlink(opts_.socket_path.c_str());
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    throw util::Error(
-        util::format("svc: bind(%s): %s", opts_.socket_path.c_str(), std::strerror(errno)));
-  }
-  if (::listen(listen_fd_, 64) != 0) {
-    throw util::Error(
-        util::format("svc: listen(%s): %s", opts_.socket_path.c_str(), std::strerror(errno)));
-  }
+  listen_fd_ = net::listen_on(endpoint_, opts_.backlog);
+  bound_ = net::bound_endpoint(listen_fd_, endpoint_);
 }
 
 void Server::install_signal_handlers() {
@@ -114,6 +85,23 @@ void Server::request_drain() {
   if (wake_pipe_[1] >= 0) {
     const char b = 'D';
     [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+  }
+}
+
+void Server::shutdown_hard() {
+  hard_stop_.store(true);
+  draining_.store(true);
+  if (wake_pipe_[1] >= 0) {
+    const char b = 'K';
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+  }
+  // threads_mutex_ also serializes against run()'s close of listen_fd_:
+  // we must never ::shutdown a fd number the run thread already closed
+  // (it could have been reused by another connection by then).
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  for (auto& weak : sessions_) {
+    if (auto session = weak.lock()) session->shutdown_transport();
   }
 }
 
@@ -140,89 +128,107 @@ void Server::run() {
       const int conn = ::accept(listen_fd_, nullptr, nullptr);
       if (conn < 0) {
         if (errno == EINTR || errno == ECONNABORTED) continue;
+        if (hard_stop_.load()) break;
         throw util::Error(util::format("svc: accept: %s", std::strerror(errno)));
       }
       obs::counter_add("svc.server.connections", 1);
+      obs::counter_add("net.accepted", 1);
+      const net::SessionLimits limits{opts_.max_line_bytes, opts_.frame_timeout_s,
+                                      opts_.write_timeout_s};
+      auto session = std::make_shared<net::Session>(conn, limits);
       std::lock_guard<std::mutex> lock(threads_mutex_);
-      connections_.emplace_back([this, conn] { connection_loop(conn); });
+      sessions_.push_back(session);
+      connections_.emplace_back(
+          [this, s = std::move(session)]() mutable { connection_loop(std::move(s)); });
     }
   }
 
   // Drain: stop accepting immediately, then let every connection thread
   // finish the requests it already read (the scheduler completes all
-  // admitted jobs, so blocked waiters get their responses).
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  // admitted jobs, so blocked waiters get their responses).  The close is
+  // under threads_mutex_ so a concurrent shutdown_hard() either sees the
+  // live fd or -1, never a closed (possibly reused) fd number.
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
   for (;;) {
     std::vector<std::thread> batch;
     {
       std::lock_guard<std::mutex> lock(threads_mutex_);
       batch.swap(connections_);
+      sessions_.clear();
     }
     if (batch.empty()) break;
     for (auto& t : batch) t.join();
   }
-  service_.drain();
+  if (!hard_stop_.load()) service_.drain();
 }
 
-void Server::connection_loop(int fd) {
+void Server::connection_loop(std::shared_ptr<net::Session> session) {
   obs::set_thread_name("svc-conn");
-  std::string buffer;
-  char chunk[4096];
-  bool open = true;
 
-  // Process every complete line currently in `buffer`; returns false if a
-  // write failed (peer gone).
-  auto process_buffered = [&]() -> bool {
-    std::size_t start = 0;
-    for (;;) {
-      const std::size_t nl = buffer.find('\n', start);
-      if (nl == std::string::npos) break;
-      std::string line = buffer.substr(start, nl - start);
-      start = nl + 1;
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      std::string response = service_.handle_line(line);
-      response.push_back('\n');
-      if (!write_all(fd, response.data(), response.size())) return false;
-      if (service_.drain_requested()) request_drain();
-    }
-    buffer.erase(0, start);
+  // Handle one received frame; returns false when the session must close.
+  auto handle = [&](const std::string& line) -> bool {
+    obs::Span span("net.request");
+    obs::counter_add("net.requests", 1);
+    const std::string response = service_.handle_line(line);
+    if (session->write_line(response) != net::IoStatus::Ok) return false;
+    // First answered request completes the handshake (explicit version op
+    // or the PR-5 implicit form — see net/session.hpp).
+    session->advance(net::SessionState::Streaming);
+    if (service_.drain_requested()) request_drain();
     return true;
   };
 
-  while (open) {
-    // Poll with a short timeout so the thread notices a drain that was
-    // triggered elsewhere (signal, another connection's drain request).
-    pollfd pfd{fd, POLLIN, 0};
-    const int rc = ::poll(&pfd, 1, 200);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      break;
+  bool open = true;
+  while (open && !hard_stop_.load()) {
+    std::string line;
+    // Short idle slices so the thread notices a drain triggered elsewhere
+    // (signal, another connection's drain request).
+    switch (session->read_line(&line, net::Deadline::after(0.2))) {
+      case net::Session::Read::Line:
+        open = handle(line);
+        break;
+      case net::Session::Read::Idle:
+        break;
+      case net::Session::Read::Oversized:
+        obs::counter_add("net.oversized", 1);
+        session->write_line(protocol_error(
+            "", "bad_request",
+            util::format("request line exceeds %zu bytes", opts_.max_line_bytes)));
+        open = false;
+        break;
+      case net::Session::Read::FrameTimeout:
+        obs::counter_add("net.frame_timeout", 1);
+        session->write_line(protocol_error(
+            "", "bad_request",
+            util::format("frame incomplete after %.1f s", opts_.frame_timeout_s)));
+        open = false;
+        break;
+      case net::Session::Read::Eof:
+      case net::Session::Read::Error:
+        open = false;
+        break;
     }
-    if (rc > 0 && (pfd.revents & (POLLIN | POLLHUP)) != 0) {
-      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-      if (n <= 0) {
-        if (n < 0 && errno == EINTR) continue;
-        break;  // EOF or error: peer closed
-      }
-      buffer.append(chunk, static_cast<std::size_t>(n));
-      if (!process_buffered()) break;
-    }
-    if (draining_.load()) {
+    if (open && draining_.load() && !hard_stop_.load()) {
       // Final scoop: answer any requests whose lines already arrived, then
       // close.  New data after this point is the client's race to lose.
-      pollfd last{fd, POLLIN, 0};
-      while (::poll(&last, 1, 0) > 0 && (last.revents & POLLIN) != 0) {
-        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-        if (n <= 0) break;
-        buffer.append(chunk, static_cast<std::size_t>(n));
+      session->advance(net::SessionState::Draining);
+      for (;;) {
+        const auto st = session->read_line(&line, net::Deadline::after(0.001));
+        if (st == net::Session::Read::Line) {
+          if (!handle(line)) break;
+          continue;
+        }
+        break;
       }
-      process_buffered();
       open = false;
     }
   }
-  ::close(fd);
+  // The session's destructor (this thread owns the last reference once the
+  // server's weak_ptr expires) closes the fd.
 }
 
 }  // namespace mps::svc

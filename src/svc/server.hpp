@@ -1,8 +1,12 @@
-// svc::Server — a Unix-domain-socket daemon around svc::Service.
+// svc::Server — the synthesis daemon around svc::Service, on either
+// transport: an AF_UNIX socket path or a TCP host:port (net::Endpoint).
+// The accept loop, session handling, framing, limits and drain semantics
+// are one code path — the transports differ only in listen_on/connect_to.
 //
 // One accept loop (poll on the listen socket plus a self-pipe wake fd), one
-// thread per connection reading newline-delimited JSON requests and writing
-// one response line per request.  POSIX sockets only, no framework.
+// thread per connection running a net::Session (handshake -> streaming ->
+// draining state machine, NDJSON framing, frame-size cap, per-session
+// timeouts).  POSIX sockets only, no framework.
 //
 // Graceful drain (SIGTERM, or a {"op":"drain"} request):
 //   1. stop accepting — the listen socket closes immediately;
@@ -23,12 +27,29 @@
 #include <thread>
 #include <vector>
 
+#include "net/endpoint.hpp"
+#include "net/session.hpp"
 #include "svc/service.hpp"
 
 namespace mps::svc {
 
 struct ServerOptions {
+  /// AF_UNIX transport: the socket path (kept as its own field for the
+  /// PR-5 call sites; wins over `listen` when both are set).
   std::string socket_path;
+  /// Any net::Endpoint text — "host:port" for TCP, a path for AF_UNIX.
+  /// TCP port 0 binds a kernel-assigned port; see bound_endpoint().
+  std::string listen;
+  /// listen(2) backlog (was hardcoded 64 before PR 8).
+  int backlog = 64;
+  /// Max bytes of one request line; longer frames get a JSON error + close
+  /// instead of unbounded buffering.
+  std::size_t max_line_bytes = 8u << 20;
+  /// Per-session frame/write timeouts (0 = none): a frame that stays
+  /// incomplete longer than frame_timeout_s, or a response write blocked
+  /// longer than write_timeout_s, closes that session only.
+  double frame_timeout_s = 30.0;
+  double write_timeout_s = 30.0;
   ServiceOptions service;
 };
 
@@ -40,9 +61,9 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind + listen on the socket path (an existing socket file is replaced).
-  /// Throws util::Error on failure.  Separate from run() so callers can
-  /// report "listening" before blocking.
+  /// Bind + listen on the configured endpoint (an existing Unix socket file
+  /// is replaced).  Throws util::Error on failure.  Separate from run() so
+  /// callers can report "listening" before blocking.
   void start();
 
   /// Accept and serve until a drain is requested, then shut down gracefully
@@ -53,23 +74,36 @@ class Server {
   /// handler invokes via the self-pipe (the handler itself only write()s).
   void request_drain();
 
+  /// Abrupt stop for failure-injection tests: close the listen socket and
+  /// shut down every live session's transport without answering anything
+  /// in flight, making run() return as fast as possible.  Looks exactly
+  /// like a crashed worker to peers (mid-request EOF / reset).
+  void shutdown_hard();
+
   /// Route SIGTERM and SIGINT to request_drain() for this instance (at most
   /// one instance per process may install handlers).
   void install_signal_handlers();
 
   Service& service() { return service_; }
   const std::string& socket_path() const { return opts_.socket_path; }
+  /// The endpoint actually bound (TCP port 0 resolved); valid after start().
+  const net::Endpoint& bound_endpoint() const { return bound_; }
 
  private:
-  void connection_loop(int fd);
+  void connection_loop(std::shared_ptr<net::Session> session);
 
   ServerOptions opts_;
   Service service_;
+  net::Endpoint endpoint_;
+  net::Endpoint bound_;
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
   std::atomic<bool> draining_{false};
+  std::atomic<bool> hard_stop_{false};
   std::mutex threads_mutex_;
   std::vector<std::thread> connections_;
+  /// Live sessions, for shutdown_hard()'s transport teardown.
+  std::vector<std::weak_ptr<net::Session>> sessions_;
 };
 
 }  // namespace mps::svc

@@ -5,12 +5,11 @@
 #include "svc/artifact.hpp"
 #include "svc/json.hpp"
 #include "util/common.hpp"
+#include "util/text.hpp"
 
 namespace mps::svc {
 
-namespace {
-
-std::string error_response(const std::string& op, const std::string& kind,
+std::string protocol_error(const std::string& op, const std::string& kind,
                            const std::string& message) {
   Json j = Json::object();
   j.set("ok", Json(false));
@@ -18,6 +17,49 @@ std::string error_response(const std::string& op, const std::string& kind,
   j.set("kind", kind);
   j.set("error", message);
   return j.dump();
+}
+
+std::optional<SynthRequest> parse_synth_request(const Json& req, std::string* error_line) {
+  const Json* g_text = req.find("g");
+  if (g_text == nullptr || !g_text->is_string()) {
+    *error_line = protocol_error("synth", "bad_request", "missing string field 'g'");
+    return std::nullopt;
+  }
+  const std::string method = req.get_string("method", "modular");
+  if (method != "modular" && method != "direct" && method != "lavagno") {
+    *error_line = protocol_error(
+        "synth", "bad_request",
+        "unknown method: '" + method + "' (expected modular|direct|lavagno)");
+    return std::nullopt;
+  }
+  const std::string engine_str = req.get_string("engine", "dpll");
+  const auto engine = sat::engine_from_name(engine_str);
+  if (!engine.has_value()) {
+    *error_line = protocol_error(
+        "synth", "bad_request", "unknown engine: '" + engine_str + "' (expected dpll|cdcl)");
+    return std::nullopt;
+  }
+
+  SynthRequest out;
+  try {
+    out.spec = stg::parse_g(g_text->as_string());
+  } catch (const util::Error& e) {
+    *error_line = protocol_error("synth", "parse", e.what());
+    return std::nullopt;
+  }
+  out.options = default_request_options(method);
+  out.options.threads = static_cast<unsigned>(req.get_int("threads", 1));
+  out.options.deadline_s = req.get_double("deadline_s", 0.0);
+  set_engine(&out.options, *engine);
+  out.digest = request_digest(out.spec, out.options);
+  return out;
+}
+
+namespace {
+
+std::string error_response(const std::string& op, const std::string& kind,
+                           const std::string& message) {
+  return protocol_error(op, kind, message);
 }
 
 Json scheduler_stats_json(const SchedulerStats& s, std::size_t queue_cap) {
@@ -68,6 +110,23 @@ std::string Service::handle_line(const std::string& line) {
       j.set("op", "ping");
       return j.dump();
     }
+    if (op == "version") {
+      const std::int64_t asked = req.get_int("protocol", kProtocolVersion);
+      if (asked != kProtocolVersion) {
+        Json j = Json::parse(protocol_error(
+            "version", "version",
+            util::format("protocol mismatch: client %lld, server %lld",
+                         static_cast<long long>(asked),
+                         static_cast<long long>(kProtocolVersion))));
+        j.set("protocol", Json(kProtocolVersion));
+        return j.dump();
+      }
+      Json j = Json::object();
+      j.set("ok", Json(true));
+      j.set("op", "version");
+      j.set("protocol", Json(kProtocolVersion));
+      return j.dump();
+    }
     if (op == "synth") return handle_synth(req);
     if (op == "stats") return handle_stats();
     if (op == "drain") {
@@ -87,36 +146,13 @@ std::string Service::handle_synth(const Json& req) {
   obs::Span span("svc.synth_request");
   synth_requests_.fetch_add(1);
 
-  const Json* g_text = req.find("g");
-  if (g_text == nullptr || !g_text->is_string()) {
-    return error_response("synth", "bad_request", "missing string field 'g'");
-  }
-  const std::string method = req.get_string("method", "modular");
-  if (method != "modular" && method != "direct" && method != "lavagno") {
-    return error_response("synth", "bad_request",
-                          "unknown method: '" + method + "' (expected modular|direct|lavagno)");
-  }
-  const std::string engine_str = req.get_string("engine", "dpll");
-  const auto engine = sat::engine_from_name(engine_str);
-  if (!engine.has_value()) {
-    return error_response("synth", "bad_request",
-                          "unknown engine: '" + engine_str + "' (expected dpll|cdcl)");
-  }
-
-  stg::Stg spec;
-  try {
-    spec = stg::parse_g(g_text->as_string());
-  } catch (const util::Error& e) {
-    return error_response("synth", "parse", e.what());
-  }
-
-  RequestOptions ropts = default_request_options(method);
-  ropts.threads = static_cast<unsigned>(req.get_int("threads", 1));
-  ropts.deadline_s = req.get_double("deadline_s", 0.0);
-  set_engine(&ropts, *engine);
-  const std::string digest = request_digest(spec, ropts);
+  std::string error_line;
+  auto parsed = parse_synth_request(req, &error_line);
+  if (!parsed.has_value()) return error_line;
+  const stg::Stg& spec = parsed->spec;
+  const RequestOptions& ropts = parsed->options;
+  const std::string& digest = parsed->digest;
   span.arg("threads", ropts.threads);
-  span.arg("engine", static_cast<std::int64_t>(*engine));
 
   auto respond = [&](const std::string& payload, bool cached) -> std::string {
     Json artifact;
@@ -167,7 +203,8 @@ std::string Service::handle_stats() {
   for (const char* name :
        {"svc.requests", "svc.cache.hit.mem", "svc.cache.hit.disk", "svc.cache.miss",
         "svc.cache.put", "svc.queue.submitted", "svc.queue.rejected",
-        "svc.singleflight.joined"}) {
+        "svc.singleflight.joined", "net.accepted", "net.requests", "net.oversized",
+        "net.frame_timeout"}) {
     counters.set(name, Json(obs::counter_value(name)));
   }
   j.set("counters", std::move(counters));

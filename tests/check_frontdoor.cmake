@@ -1,0 +1,152 @@
+# End-to-end multi-node check: mps_frontdoor routing over TCP to two
+# mps_serve workers (expects -DSERVE, -DCLIENT, -DSYNTH, -DFRONTDOOR,
+# -DOUT_DIR, and -DMODE=SMOKE|SOAK).
+#
+# Port-collision safety: every process binds 127.0.0.1:0 and the script
+# parses the kernel-assigned port back out of its "listening on" line, so
+# any number of these checks can run under `ctest -j` concurrently.
+#
+# SMOKE: boot 2 workers + front door, ping, round-trip one benchmark
+#   through the front door and byte-compare the Verilog against a local
+#   mps_synth run, check the routing stats, drain everything cleanly.
+# SOAK: reference 3 benchmarks locally, fire 8 concurrent clients (each
+#   synthesizing all 3, two rounds) through the front door, kill -9 one
+#   worker mid-soak, and require every single output byte-identical to the
+#   local runs anyway; then report the front door's latency percentiles and
+#   drain.  SIGTERM to the front door must drain gracefully (exit 0).
+if(NOT MODE MATCHES "^(SMOKE|SOAK)$")
+  message(FATAL_ERROR "check_frontdoor.cmake needs -DMODE=SMOKE or -DMODE=SOAK")
+endif()
+string(TOLOWER ${MODE} mode_dir)
+set(work ${OUT_DIR}/frontdoor_${mode_dir})
+file(REMOVE_RECURSE ${work})
+file(MAKE_DIRECTORY ${work})
+
+set(common_sh [=[
+# Parse the kernel-assigned port out of a daemon's "listening on" line.
+port_of() { sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$1" | head -n 1; }
+wait_port() {
+  for i in $(seq 1 100); do
+    P=$(port_of "$1"); [ -n "$P" ] && return 0
+    sleep 0.1
+  done
+  echo "no listening line in $1:"; cat "$1"; return 1
+}
+
+"$SERVE" --listen 127.0.0.1:0 --cache-dir cache1 --threads 2 --queue-cap 32 > w1.log 2>&1 &
+W1=$!
+"$SERVE" --listen 127.0.0.1:0 --cache-dir cache2 --threads 2 --queue-cap 32 > w2.log 2>&1 &
+W2=$!
+wait_port w1.log; wait_port w2.log
+P1=$(port_of w1.log); P2=$(port_of w2.log)
+
+"$FRONTDOOR" --listen 127.0.0.1:0 --worker 127.0.0.1:$P1 --worker 127.0.0.1:$P2 > fd.log 2>&1 &
+FD=$!
+wait_port fd.log
+FP=$(port_of fd.log)
+DOOR="127.0.0.1:$FP"
+
+"$CLIENT" --connect $DOOR --timeout-s 60 ping | grep -q '"ok":true'
+]=])
+
+if(MODE STREQUAL "SMOKE")
+  set(mode_sh [=[
+# One benchmark through the fleet, byte-compared against a local run.
+"$SYNTH" --bench alloc-outbound --dump-g alloc.g --quiet > /dev/null
+"$SYNTH" alloc.g --out-verilog ref.v > /dev/null
+"$CLIENT" --connect $DOOR synth alloc.g --out-verilog got.v > /dev/null
+diff ref.v got.v
+
+# The front door must have routed it to the digest's shard owner.
+"$CLIENT" --connect $DOOR stats > stats.json
+grep -q '"synth_relayed":1' stats.json
+grep -q '"shard_hits":1' stats.json
+grep -q '"failovers":0' stats.json
+
+# In-band drain of the front door (workers keep running), then SIGTERM the
+# workers: all three must exit 0 with their "drained" line.
+"$CLIENT" --connect $DOOR drain | grep -q '"ok":true'
+wait $FD
+grep -q 'drained, exiting' fd.log
+kill -TERM $W1 $W2
+wait $W1; wait $W2
+grep -q 'drained, exiting' w1.log
+grep -q 'drained, exiting' w2.log
+echo FRONTDOOR_OK
+]=])
+else()
+  set(mode_sh [=[
+# References: local mps_synth artifacts for three distinct benchmarks.
+mkdir -p out
+for b in alloc-outbound atod mr1; do
+  "$SYNTH" --bench $b --dump-g $b.g --quiet > /dev/null
+  "$SYNTH" $b.g --out-verilog ref_$b.v > /dev/null
+done
+
+# 8 concurrent clients x 3 benchmarks x 2 rounds = 48 requests through the
+# front door.  Round 2 is the warm path (fleet-wide cache).
+for c in 1 2 3 4 5 6 7 8; do
+  (
+    for round in 1 2; do
+      for b in alloc-outbound atod mr1; do
+        "$CLIENT" --connect $DOOR --timeout-s 300 synth $b.g \
+          --out-verilog out/c${c}_r${round}_$b.v > /dev/null || exit 1
+      done
+    done
+  ) &
+  eval "C$c=$!"
+done
+
+# Kill one worker mid-soak (-9: no drain, mid-request EOF for its peers).
+# The front door must fail its shards over to the survivor; every client
+# still gets byte-identical artifacts.
+sleep 0.5
+kill -9 $W2
+wait $W2 || true
+
+rc=0
+for c in 1 2 3 4 5 6 7 8; do
+  eval "wait \$C$c" || rc=1
+done
+[ $rc -eq 0 ] || { echo "a soak client failed"; cat fd.log; exit 1; }
+
+for c in 1 2 3 4 5 6 7 8; do
+  for round in 1 2; do
+    for b in alloc-outbound atod mr1; do
+      diff ref_$b.v out/c${c}_r${round}_$b.v || exit 1
+    done
+  done
+done
+
+# Tail latency through the fleet (EXPERIMENTS.md quotes these).
+"$CLIENT" --connect $DOOR stats > stats.json
+grep -q '"synth_relayed":48' stats.json
+echo "frontdoor latency: $(sed -n 's/.*"latency":{\([^}]*\)}.*/\1/p' stats.json)"
+echo "frontdoor stats: $(sed -n 's/.*\("failovers":[0-9]*\).*/\1/p' stats.json) $(sed -n 's/.*\("shard_fallbacks":[0-9]*\).*/\1/p' stats.json)"
+
+# SIGTERM drain of front door and surviving worker: both exit 0.
+kill -TERM $FD
+wait $FD
+grep -q 'drained, exiting' fd.log
+kill -TERM $W1
+wait $W1
+grep -q 'drained, exiting' w1.log
+echo FRONTDOOR_OK
+]=])
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env SERVE=${SERVE} CLIENT=${CLIENT} SYNTH=${SYNTH}
+          FRONTDOOR=${FRONTDOOR} sh -e -c "${common_sh}${mode_sh}"
+  WORKING_DIRECTORY ${work}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+message(STATUS "frontdoor ${MODE} output:\n${out}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "frontdoor ${MODE} check failed (rc=${rc}).\nstdout: ${out}\nstderr: ${err}")
+endif()
+if(NOT out MATCHES "FRONTDOOR_OK")
+  message(FATAL_ERROR "frontdoor ${MODE} check did not complete.\nstdout: ${out}\nstderr: ${err}")
+endif()

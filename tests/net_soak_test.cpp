@@ -1,0 +1,344 @@
+// Multi-node soak for the network layer: a real net::FrontDoor routing over
+// TCP to two real svc::Server workers, all in-process (so tsan sees every
+// thread) on kernel-assigned ports (so `ctest -j` never collides).
+//
+// What must hold:
+//   - every response through front door -> worker -> front door -> client is
+//     byte-identical to running the same synthesis locally (the relay is
+//     verbatim and the artifact encoding is deterministic);
+//   - synth requests route to their digest's shard owner (fleet-wide
+//     single-flight: each distinct digest is synthesized on exactly one
+//     node, however many clients ask);
+//   - a worker hard-killed mid-request costs nothing but a retry: the
+//     front door fails the request over to the surviving worker and the
+//     client still gets the byte-identical answer;
+//   - local validation: malformed specs are answered by the front door
+//     without touching a worker, and a fleet of dead workers yields a clean
+//     `unavailable` error, not a hang.
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mps.hpp"
+
+namespace {
+
+using namespace mps;
+
+std::string bench_g_text(const char* name) {
+  const auto* b = benchmarks::find_benchmark(name);
+  if (b == nullptr) ADD_FAILURE() << "unknown benchmark " << name;
+  return stg::write_g(b->make());
+}
+
+/// The request object svc::Client::synth() sends, built the same way.
+svc::Json synth_request(const std::string& g_text, const std::string& method) {
+  svc::Json j = svc::Json::object();
+  j.set("op", "synth");
+  j.set("g", g_text);
+  j.set("method", method);
+  j.set("threads", svc::Json(static_cast<std::int64_t>(1)));
+  return j;
+}
+
+/// `artifact` re-dumped with the one nondeterministic field ("seconds", the
+/// measured wall-clock of the cold run) dropped.  Everything else — covers,
+/// Verilog, solver counters — must be byte-for-byte reproducible.
+std::string strip_seconds(const svc::Json& artifact) {
+  svc::Json j = svc::Json::object();
+  for (const auto& [key, value] : artifact.members()) {
+    if (key != "seconds") j.set(key, value);
+  }
+  return j.dump();
+}
+
+/// What any node must answer for this request, computed locally: parse the
+/// wire request exactly as a worker would, run the synthesis in-process, and
+/// serialize the artifact.  Identity (up to the measured "seconds" field)
+/// against this string proves the whole relay chain (client -> front door ->
+/// worker and back) is verbatim; *cross-client* responses are compared with
+/// no normalization at all.
+std::string expected_artifact_dump(const svc::Json& req) {
+  std::string error_line;
+  const auto parsed = svc::parse_synth_request(req, &error_line);
+  if (!parsed) {
+    ADD_FAILURE() << "request did not validate: " << error_line;
+    return "";
+  }
+  const svc::Artifact art = svc::run_synthesis(parsed->spec, parsed->options);
+  return strip_seconds(svc::Json::parse(art.serialize()));
+}
+
+/// The digest a worker/front door computes for this request (routing key).
+std::string request_digest_of(const svc::Json& req) {
+  std::string error_line;
+  const auto parsed = svc::parse_synth_request(req, &error_line);
+  if (!parsed) ADD_FAILURE() << error_line;
+  return parsed ? parsed->digest : "";
+}
+
+struct Worker {
+  explicit Worker(const std::string& cache_dir) {
+    svc::ServerOptions opts;
+    opts.listen = "127.0.0.1:0";
+    opts.service.cache.dir = cache_dir;
+    opts.service.sched.num_threads = 2;
+    server = std::make_unique<svc::Server>(opts);
+    server->start();
+    thread = std::thread([this] { server->run(); });
+  }
+  ~Worker() { stop(); }
+  void stop() {
+    if (thread.joinable()) {
+      server->request_drain();
+      thread.join();
+    }
+  }
+  void kill_hard() {
+    if (thread.joinable()) {
+      server->shutdown_hard();
+      thread.join();
+    }
+  }
+  std::string address() const { return server->bound_endpoint().str(); }
+
+  std::unique_ptr<svc::Server> server;
+  std::thread thread;
+};
+
+struct Fleet {
+  explicit Fleet(const char* tag, int num_workers = 2) {
+    const std::string base = testing::TempDir() + "net_fleet_" + tag;
+    for (int i = 0; i < num_workers; ++i) {
+      const std::string dir = base + "_w" + std::to_string(i);
+      std::filesystem::remove_all(dir);
+      workers.push_back(std::make_unique<Worker>(dir));
+    }
+    net::FrontDoorOptions fopts;
+    fopts.listen = "127.0.0.1:0";
+    for (const auto& w : workers) fopts.workers.push_back(w->address());
+    fopts.backoff.base_s = 0.01;
+    fopts.backoff.max_s = 0.05;
+    fopts.worker_connect_timeout_s = 2.0;
+    door = std::make_unique<net::FrontDoor>(fopts);
+    door->start();
+    door_thread = std::thread([this] { door->run(); });
+  }
+  ~Fleet() {
+    stop_door();
+    for (auto& w : workers) w->stop();
+  }
+  void stop_door() {
+    if (door_thread.joinable()) {
+      door->request_drain();
+      door_thread.join();
+    }
+  }
+  std::string address() const { return door->bound_endpoint().str(); }
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::unique_ptr<net::FrontDoor> door;
+  std::thread door_thread;
+};
+
+TEST(NetFleet, SoakRoutesByShardAndRelaysByteIdentically) {
+  Fleet fleet("soak");
+
+  // Three distinct specs -> three digests, owners decided by shard_of.
+  const std::vector<const char*> benches = {"alloc-outbound", "atod", "mr1"};
+  std::vector<svc::Json> requests;
+  std::vector<std::string> expected;
+  for (const char* b : benches) {
+    requests.push_back(synth_request(bench_g_text(b), "modular"));
+    expected.push_back(expected_artifact_dump(requests.back()));
+    ASSERT_FALSE(expected.back().empty());
+  }
+
+  // >= 8 concurrent clients, each sending every benchmark (24 requests).
+  constexpr int kClients = 8;
+  std::vector<std::string> errors(kClients);
+  std::vector<std::vector<std::string>> got(kClients);
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        svc::ClientOptions copts;
+        copts.handshake = true;  // exercise the version handshake under load
+        svc::Client client(fleet.address(), copts);
+        ready.fetch_add(1);
+        while (!go.load()) std::this_thread::yield();
+        for (std::size_t r = 0; r < requests.size(); ++r) {
+          const svc::Json resp = client.request(requests[r]);
+          if (!resp.get_bool("ok", false)) {
+            errors[i] = resp.dump();
+            return;
+          }
+          got[i].push_back(resp.find("artifact")->dump());
+        }
+      } catch (const std::exception& e) {
+        errors[i] = e.what();
+      }
+    });
+  }
+  while (ready.load() < kClients) std::this_thread::yield();
+  go.store(true);
+  for (auto& t : threads) t.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_EQ(errors[i], "") << "client " << i;
+    ASSERT_EQ(got[i].size(), requests.size());
+    for (std::size_t r = 0; r < requests.size(); ++r) {
+      // However a response was served (fresh run, single-flight join, cache
+      // hit, whichever worker), all clients must see the same bytes...
+      EXPECT_EQ(got[i][r], got[0][r])
+          << "client " << i << " bench " << benches[r]
+          << ": responses must be byte-identical across clients";
+      // ...and those bytes must match a local run of the same request, up
+      // to the measured wall-clock field.
+      EXPECT_EQ(strip_seconds(svc::Json::parse(got[i][r])), expected[r])
+          << "client " << i << " bench " << benches[r]
+          << ": relayed artifact must match a local run";
+    }
+  }
+
+  // Routing: all workers alive -> every request went to its shard owner,
+  // nothing failed over.
+  const net::FrontDoorStats stats = fleet.door->stats();
+  EXPECT_EQ(stats.synth_requests, kClients * static_cast<int>(benches.size()));
+  EXPECT_EQ(stats.synth_relayed, stats.synth_requests);
+  EXPECT_EQ(stats.shard_hits, stats.synth_requests);
+  EXPECT_EQ(stats.shard_fallbacks, 0);
+  EXPECT_EQ(stats.failovers, 0);
+  EXPECT_EQ(stats.synth_unavailable, 0);
+
+  // Fleet-wide single-flight: each distinct digest was synthesized on
+  // exactly one node, once — 24 requests, <= 3 submissions fleet-wide.
+  std::int64_t submitted = 0;
+  for (auto& w : fleet.workers) {
+    submitted += w->server->service().scheduler().stats().submitted;
+  }
+  EXPECT_LE(submitted, static_cast<std::int64_t>(benches.size()))
+      << "digest sharding must collapse identical requests fleet-wide";
+  EXPECT_GE(submitted, 1);
+
+  // The stats op answers locally with routing counters and latency
+  // percentiles (what EXPERIMENTS.md's tail-latency table reads).
+  svc::Client client(fleet.address());
+  const svc::Json s = client.stats();
+  EXPECT_TRUE(s.get_bool("ok", false));
+  const svc::Json* latency = s.find("latency");
+  ASSERT_NE(latency, nullptr) << s.dump();
+  EXPECT_EQ(latency->get_int("count", -1), stats.synth_relayed);
+  EXPECT_GE(latency->get_double("p99_ms", -1.0), latency->get_double("p50_ms", -1.0));
+  const svc::Json* workers = s.find("workers");
+  ASSERT_NE(workers, nullptr);
+  EXPECT_EQ(workers->items().size(), fleet.workers.size());
+
+  // In-band drain through the front door: answered, then run() returns.
+  EXPECT_TRUE(client.drain().get_bool("ok", false));
+  fleet.door_thread.join();
+}
+
+TEST(NetFleet, WorkerKilledMidRequestFailsOverByteIdentically) {
+  Fleet fleet("kill");
+
+  // Two specs, one owned by each worker (mr0 and mr1 differ in digest; find
+  // which worker owns which instead of assuming).
+  const svc::Json req_a = synth_request(bench_g_text("mr0"), "modular");
+  const std::size_t owner_a =
+      net::shard_of(request_digest_of(req_a), fleet.workers.size());
+
+  // Kill the owner while its request is in flight: connect, fire the
+  // request from a thread, wait until the front door shows the owner
+  // serving it, then hard-kill the owner.
+  std::string resp_line;
+  std::string client_error;
+  std::thread requester([&] {
+    try {
+      svc::Client client(fleet.address());
+      resp_line = client.request(req_a).dump();
+    } catch (const std::exception& e) {
+      client_error = e.what();
+    }
+  });
+
+  bool saw_inflight = false;
+  for (int i = 0; i < 5000 && !saw_inflight; ++i) {
+    saw_inflight = fleet.door->workers().inflight(owner_a) > 0;
+    if (!saw_inflight) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(saw_inflight) << "request never reached the owner worker";
+  fleet.workers[owner_a]->kill_hard();  // mid-request: peers see EOF/reset
+  requester.join();
+
+  ASSERT_EQ(client_error, "");
+  const svc::Json resp = svc::Json::parse(resp_line);
+  ASSERT_TRUE(resp.get_bool("ok", false)) << resp_line;
+  const std::string expected = expected_artifact_dump(req_a);
+  EXPECT_EQ(strip_seconds(*resp.find("artifact")), expected)
+      << "the failed-over answer must still match a local run";
+
+  const net::FrontDoorStats stats = fleet.door->stats();
+  EXPECT_GE(stats.failovers, 1) << "the owner's death must be counted";
+  EXPECT_GE(stats.retries, 1);
+
+  // The dead worker is on backoff now: further requests it owns go straight
+  // to the survivor (fallback), still correct.
+  const svc::Json resp2 = [&] {
+    svc::Client client(fleet.address());
+    return client.request(req_a);
+  }();
+  ASSERT_TRUE(resp2.get_bool("ok", false)) << resp2.dump();
+  // Served from the survivor's cache: the exact bytes of the failed-over
+  // answer, and still a local-run match.
+  EXPECT_EQ(resp2.find("artifact")->dump(), resp.find("artifact")->dump());
+  EXPECT_EQ(strip_seconds(*resp2.find("artifact")), expected);
+}
+
+TEST(NetFleet, FrontDoorValidatesLocallyAndReportsDeadFleet) {
+  // One worker at a closed port: the fleet is entirely dead.
+  net::FrontDoorOptions fopts;
+  fopts.listen = "127.0.0.1:0";
+  fopts.workers.push_back("127.0.0.1:1");
+  fopts.worker_connect_timeout_s = 0.5;
+  fopts.backoff.base_s = 0.01;
+  fopts.backoff.max_s = 0.02;
+  fopts.max_attempts = 2;
+  net::FrontDoor door(fopts);
+  door.start();
+  std::thread door_thread([&] { door.run(); });
+
+  svc::Client client(door.bound_endpoint().str());
+
+  // Malformed spec: answered by the front door itself (kind: parse), no
+  // worker involved — a bad request must never tie up the fleet.
+  const svc::Json bad = client.synth("this is not a .g file", "modular");
+  EXPECT_FALSE(bad.get_bool("ok", true));
+  EXPECT_EQ(bad.get_string("kind", ""), "parse");
+
+  // Valid spec, dead fleet: clean `unavailable` error, bounded time.
+  const auto t0 = std::chrono::steady_clock::now();
+  const svc::Json resp = client.synth(bench_g_text("alloc-outbound"), "modular");
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_FALSE(resp.get_bool("ok", true)) << resp.dump();
+  EXPECT_EQ(resp.get_string("kind", ""), "unavailable") << resp.dump();
+  EXPECT_LT(waited, 10.0) << "a dead fleet must fail fast, not hang";
+
+  const net::FrontDoorStats stats = door.stats();
+  EXPECT_EQ(stats.synth_unavailable, 1);
+  EXPECT_EQ(stats.synth_relayed, 0);
+
+  door.request_drain();
+  door_thread.join();
+}
+
+}  // namespace
