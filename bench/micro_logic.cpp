@@ -80,18 +80,20 @@ BENCHMARK_CAPTURE(BM_DeriveAllLogic, atod, "atod");
 
 void BM_BddFromMinterms(benchmark::State& state) {
   const auto g = sg::StateGraph::from_stg(benchmarks::find_benchmark("mmu0")->make());
+  std::vector<mps::util::BitVec> codes;
+  for (sg::StateId s = 0; s < g.num_states(); ++s) codes.push_back(g.code(s));
   for (auto _ : state) {
     bdd::Manager mgr(g.num_signals());
-    benchmark::DoNotOptimize(bdd::reachable_chi(mgr, g));
+    benchmark::DoNotOptimize(mgr.from_minterms(codes));
   }
 }
 BENCHMARK(BM_BddFromMinterms);
 
 void BM_BddCscCheck(benchmark::State& state) {
-  const auto g = sg::StateGraph::from_stg(benchmarks::find_benchmark("mmu1")->make());
+  const auto spec = benchmarks::find_benchmark("mmu1")->make();
   for (auto _ : state) {
-    bdd::Manager mgr(g.num_signals());
-    benchmark::DoNotOptimize(bdd::csc_holds(mgr, g));
+    bdd::SymbolicStg sym(spec);
+    benchmark::DoNotOptimize(sym.check_csc().holds);
   }
 }
 BENCHMARK(BM_BddCscCheck);

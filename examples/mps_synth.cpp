@@ -12,6 +12,18 @@
 //     --check-circuit      verbose gate-level report: gate/transistor counts and
 //                          the speed-independence verifier's verdict (with a
 //                          counterexample trace on failure)
+//     --csc-check explicit|bdd
+//                          analysis mode: skip synthesis, just decide CSC.
+//                          'explicit' enumerates the state graph and runs the
+//                          token-game analysis; 'bdd' runs the symbolic engine
+//                          (partitioned transition relation + BDD reachability,
+//                          src/bdd/symbolic.hpp), which never enumerates states
+//                          and scales past 10^9 reachable states.  Prints one
+//                          summary line; exits 0 whether or not CSC holds (a
+//                          violated spec is an answer, not an error)
+//     --gen <family:n>     use a generated spec instead of a file/--bench:
+//                          pipeline:N, sequencer:N, parallelizer:N, toggle:N
+//                          (toggle rings violate CSC by construction)
 //     --dimacs <file>      export the direct CSC SAT instance
 //     --dump-g <file>      write the input specification back out as .g text
 //                          (materializes --bench specs for other tools, e.g.
@@ -29,10 +41,13 @@
 // parse error, unknown --method/--bench/flag — prints one clear
 // diagnostic to stderr and exits nonzero (2 for usage errors, 1 for
 // input/verification failures).
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 
 #include "mps.hpp"
@@ -44,12 +59,14 @@ using namespace mps;
 int usage() {
   std::fprintf(stderr,
                "usage: mps_synth <spec.g> [--method modular|direct|lavagno]\n"
-               "                 [--engine dpll|cdcl]\n"
+               "                 [--engine dpll|cdcl] [--csc-check explicit|bdd]\n"
                "                 [--out-pla <prefix>] [--out-verilog <file>]\n"
                "                 [--check-circuit] [--dimacs <file>] [--dump-g <file>]\n"
                "                 [--quiet] [--trace <file>] [--stats-json <file>]\n"
                "                 [--threads N]\n"
-               "       mps_synth --bench <name>   (use a built-in Table-1 benchmark)\n");
+               "       mps_synth --bench <name>   (use a built-in Table-1 benchmark)\n"
+               "       mps_synth --gen <family:n> (use a generated spec: pipeline:10,\n"
+               "                                   sequencer:8, parallelizer:4, toggle:3)\n");
   return 2;
 }
 
@@ -65,6 +82,8 @@ void write_file(const std::string& path, const std::string& text) {
 int main(int argc, char** argv) {
   std::string spec_path;
   std::string bench_name;
+  std::string gen_spec;
+  std::string csc_check;
   std::string method = "modular";
   std::string engine_str = "dpll";
   std::string pla_prefix;
@@ -92,6 +111,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       bench_name = v;
+    } else if (arg == "--gen") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      gen_spec = v;
+    } else if (arg == "--csc-check") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      csc_check = v;
     } else if (arg == "--out-pla") {
       const char* v = next();
       if (v == nullptr) return usage();
@@ -147,6 +174,11 @@ int main(int argc, char** argv) {
                  engine_str.c_str());
     return 2;
   }
+  if (!csc_check.empty() && csc_check != "explicit" && csc_check != "bdd") {
+    std::fprintf(stderr, "error: unknown --csc-check engine: %s (expected explicit|bdd)\n",
+                 csc_check.c_str());
+    return 2;
+  }
 
   if (!trace_path.empty() || !stats_path.empty()) {
     obs::set_enabled(true);  // before any pool/solver work so every span lands
@@ -159,6 +191,26 @@ int main(int argc, char** argv) {
         const auto* b = benchmarks::find_benchmark(bench_name);
         if (b == nullptr) throw util::Error("unknown benchmark: " + bench_name);
         return b->make();
+      }
+      if (!gen_spec.empty()) {
+        const auto colon = gen_spec.find(':');
+        const std::string family = gen_spec.substr(0, colon);
+        std::optional<std::int64_t> n;
+        if (colon != std::string::npos) {
+          n = util::parse_int(gen_spec.substr(colon + 1), 1, 1 << 10);
+        }
+        if (!n.has_value()) {
+          throw util::Error("--gen expects family:n (e.g. pipeline:10), got '" + gen_spec +
+                            "'");
+        }
+        const int k = static_cast<int>(*n);
+        const std::string name = family + std::to_string(k);
+        if (family == "pipeline") return benchmarks::gen_pipeline(name, k);
+        if (family == "sequencer") return benchmarks::gen_sequencer(name, k);
+        if (family == "parallelizer") return benchmarks::gen_parallelizer(name, k);
+        if (family == "toggle") return benchmarks::gen_toggle_ring(name, std::max(k, 2));
+        throw util::Error("unknown --gen family: " + family +
+                          " (expected pipeline|sequencer|parallelizer|toggle)");
       }
       if (!spec_path.empty()) return stg::parse_g_file(spec_path);
       // Demo: a one-bank memory controller with a data strobe.
@@ -177,6 +229,45 @@ int main(int argc, char** argv) {
                   spec.num_signals(), spec.net().num_transitions(), method.c_str());
     }
     if (!dump_g_path.empty()) write_file(dump_g_path, stg::write_g(spec));
+
+    if (!csc_check.empty()) {
+      // Analysis mode: decide CSC and stop.  Exit 0 either way — the
+      // verdict is the answer; only build/infrastructure errors are errors.
+      const auto t0 = std::chrono::steady_clock::now();
+      bool holds = false;
+      double states = 0;
+      std::size_t conflicts = 0;
+      std::string detail;
+      if (csc_check == "bdd") {
+        bdd::SymbolicStg sym(spec);
+        states = sym.num_states();
+        const bdd::CscVerdict v = sym.check_csc();
+        holds = v.holds;
+        conflicts = v.conflicts.size();
+        detail = " iterations=" + std::to_string(sym.num_iterations()) +
+                 " nodes=" + std::to_string(sym.manager().num_nodes());
+      } else {
+        const sg::StateGraph g = sg::StateGraph::from_stg(spec);
+        const sg::CscResult r = sg::analyze_csc(g);
+        holds = r.satisfied();
+        states = static_cast<double>(g.num_states());
+        conflicts = r.conflicts.size();
+      }
+      const double dt =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      std::printf("%s: csc-check engine=%s states=%.0f%s csc=%s conflicts=%zu (%.3fs)\n",
+                  spec.name().c_str(), csc_check.c_str(), states, detail.c_str(),
+                  holds ? "satisfied" : "violated", conflicts, dt);
+      if (!trace_path.empty()) {
+        obs::write_chrome_trace(trace_path);
+        if (!quiet) std::printf("wrote %s\n", trace_path.c_str());
+      }
+      if (!stats_path.empty()) {
+        obs::write_stats_json(stats_path);
+        if (!quiet) std::printf("wrote %s\n", stats_path.c_str());
+      }
+      return 0;
+    }
 
     const sg::StateGraph g = sg::StateGraph::from_stg(spec);
     sg::StateGraph final_graph;

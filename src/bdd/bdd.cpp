@@ -20,10 +20,22 @@ NodeId Manager::make(std::uint32_t v, NodeId low, NodeId high) {
   if (low == high) return low;  // reduction rule
   const Key key{v, low, high};
   if (const auto it = unique_.find(key); it != unique_.end()) return it->second;
+  if (max_nodes_ != 0 && nodes_.size() >= max_nodes_) {
+    throw util::LimitError("bdd: node budget exceeded (" + std::to_string(max_nodes_) +
+                           " nodes)");
+  }
   nodes_.push_back({v, low, high});
   const NodeId id = static_cast<NodeId>(nodes_.size() - 1);
   unique_.emplace(key, id);
   return id;
+}
+
+void Manager::tick_op() {
+  ++stats_.ops;
+  if (max_ops_ != 0 && stats_.ops > max_ops_) {
+    throw util::LimitError("bdd: operation budget exceeded (" + std::to_string(max_ops_) +
+                           " steps)");
+  }
 }
 
 NodeId Manager::var(std::uint32_t v) {
@@ -52,7 +64,12 @@ NodeId Manager::ite(NodeId f, NodeId g, NodeId h) {
   if (g == kTrue && h == kFalse) return f;
 
   const IteKey key{f, g, h};
-  if (const auto it = ite_cache_.find(key); it != ite_cache_.end()) return it->second;
+  if (const auto it = ite_cache_.find(key); it != ite_cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  ++stats_.cache_misses;
+  tick_op();
 
   const std::uint32_t v = top_var(f, g, h);
   auto cof = [&](NodeId x, bool value) -> NodeId {
@@ -71,8 +88,27 @@ NodeId Manager::restrict(NodeId f, std::uint32_t v, bool value) {
   const Node n = nodes_[f];
   if (n.var > v && n.var != kTerminalVar) return f;   // ordered: v not in support
   if (n.var == v) return value ? n.high : n.low;
+  const OpKey key{(value ? kOpRestrict1 : kOpRestrict0) + 8 * v, f, 0, 0};
+  if (const auto it = op_cache_.find(key); it != op_cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  ++stats_.cache_misses;
+  tick_op();
   const NodeId low = restrict(n.low, v, value);
   const NodeId high = restrict(n.high, v, value);
+  const NodeId result = make(n.var, low, high);
+  op_cache_.emplace(key, result);
+  return result;
+}
+
+NodeId Manager::restrict_nomemo(NodeId f, std::uint32_t v, bool value) {
+  if (f <= kTrue) return f;
+  const Node n = nodes_[f];
+  if (n.var > v && n.var != kTerminalVar) return f;
+  if (n.var == v) return value ? n.high : n.low;
+  const NodeId low = restrict_nomemo(n.low, v, value);
+  const NodeId high = restrict_nomemo(n.high, v, value);
   return make(n.var, low, high);
 }
 
@@ -82,6 +118,156 @@ NodeId Manager::exists(NodeId f, std::uint32_t v) {
 
 NodeId Manager::forall(NodeId f, std::uint32_t v) {
   return bdd_and(restrict(f, v, false), restrict(f, v, true));
+}
+
+NodeId Manager::cube(const std::vector<std::uint32_t>& vars) {
+  // Built bottom-up so the cube is linear no matter the input order.
+  std::vector<std::uint32_t> sorted = vars;
+  std::sort(sorted.begin(), sorted.end());
+  NodeId c = kTrue;
+  for (std::size_t i = sorted.size(); i-- > 0;) {
+    MPS_ASSERT(sorted[i] < num_vars_);
+    MPS_ASSERT(i == 0 || sorted[i - 1] != sorted[i]);
+    c = make(sorted[i], kFalse, c);
+  }
+  return c;
+}
+
+NodeId Manager::exists_cube(NodeId f, NodeId cube) {
+  if (f <= kTrue || cube == kTrue) return f;
+  MPS_ASSERT(cube != kFalse);
+  const Node n = nodes_[f];
+  // Skip quantified variables above f's support: ∃x. f = f when x ∉ support.
+  while (cube > kTrue && nodes_[cube].var < n.var) cube = nodes_[cube].high;
+  if (cube == kTrue) return f;
+  const OpKey key{kOpExists, f, cube, 0};
+  if (const auto it = op_cache_.find(key); it != op_cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  ++stats_.cache_misses;
+  tick_op();
+  NodeId result;
+  if (nodes_[cube].var == n.var) {
+    const NodeId rest = nodes_[cube].high;
+    const NodeId low = exists_cube(n.low, rest);
+    // ∨-cutoff: once one cofactor quantifies to ⊤ the disjunction is ⊤.
+    result = low == kTrue ? kTrue : bdd_or(low, exists_cube(n.high, rest));
+  } else {
+    result = make(n.var, exists_cube(n.low, cube), exists_cube(n.high, cube));
+  }
+  op_cache_.emplace(key, result);
+  return result;
+}
+
+NodeId Manager::and_exists(NodeId f, NodeId g, NodeId cube) {
+  if (f == kFalse || g == kFalse) return kFalse;
+  if (f == kTrue && g == kTrue) return kTrue;
+  if (cube == kTrue) return bdd_and(f, g);
+  if (f == kTrue) return exists_cube(g, cube);
+  if (g == kTrue) return exists_cube(f, cube);
+  if (f == g) return exists_cube(f, cube);
+
+  const std::uint32_t v = std::min(nodes_[f].var, nodes_[g].var);
+  while (cube > kTrue && nodes_[cube].var < v) cube = nodes_[cube].high;
+  if (cube == kTrue) return bdd_and(f, g);
+
+  // The cache key orders the unordered pair {f, g} (∧ is commutative).
+  const OpKey key{kOpAndExists, std::min(f, g), std::max(f, g), cube};
+  if (const auto it = op_cache_.find(key); it != op_cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  ++stats_.cache_misses;
+  tick_op();
+
+  auto cof = [&](NodeId x, bool value) -> NodeId {
+    if (x <= kTrue || nodes_[x].var != v) return x;
+    return value ? nodes_[x].high : nodes_[x].low;
+  };
+  NodeId result;
+  if (nodes_[cube].var == v) {
+    const NodeId rest = nodes_[cube].high;
+    const NodeId low = and_exists(cof(f, false), cof(g, false), rest);
+    // ∨-cutoff as in exists_cube.
+    result = low == kTrue ? kTrue : bdd_or(low, and_exists(cof(f, true), cof(g, true), rest));
+  } else {
+    result = make(v, and_exists(cof(f, false), cof(g, false), cube),
+                  and_exists(cof(f, true), cof(g, true), cube));
+  }
+  op_cache_.emplace(key, result);
+  return result;
+}
+
+NodeId Manager::rename_shift_down(NodeId f) {
+  if (f <= kTrue) return f;
+  const OpKey key{kOpRename, f, 0, 0};
+  if (const auto it = op_cache_.find(key); it != op_cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  ++stats_.cache_misses;
+  tick_op();
+  const Node n = nodes_[f];
+  const std::uint32_t v = (n.var & 1u) ? n.var - 1 : n.var;
+  const NodeId low = rename_shift_down(n.low);
+  const NodeId high = rename_shift_down(n.high);
+  // The substitution is only order-preserving when the renamed children
+  // still sit strictly below v — i.e. 2i and 2i+1 never co-occur on a path.
+  MPS_ASSERT(low <= kTrue || nodes_[low].var > v);
+  MPS_ASSERT(high <= kTrue || nodes_[high].var > v);
+  const NodeId result = make(v, low, high);
+  op_cache_.emplace(key, result);
+  return result;
+}
+
+std::size_t Manager::gc(const std::vector<NodeId*>& roots) {
+  std::vector<char> mark(nodes_.size(), 0);
+  mark[kFalse] = mark[kTrue] = 1;
+  std::vector<NodeId> stack;
+  for (const NodeId* r : roots) {
+    MPS_ASSERT(*r < nodes_.size());
+    stack.push_back(*r);
+  }
+  while (!stack.empty()) {
+    const NodeId x = stack.back();
+    stack.pop_back();
+    if (mark[x]) continue;
+    mark[x] = 1;
+    stack.push_back(nodes_[x].low);
+    stack.push_back(nodes_[x].high);
+  }
+
+  // Compact in index order: make() only ever references already-existing
+  // children, so children keep smaller ids than their parents.
+  std::vector<NodeId> remap(nodes_.size(), kFalse);
+  std::vector<Node> kept;
+  kept.reserve(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (!mark[id]) continue;
+    remap[id] = static_cast<NodeId>(kept.size());
+    Node n = nodes_[id];
+    if (n.var != kTerminalVar) {
+      n.low = remap[n.low];
+      n.high = remap[n.high];
+    }
+    kept.push_back(n);
+  }
+  const std::size_t collected = nodes_.size() - kept.size();
+  nodes_ = std::move(kept);
+
+  unique_.clear();
+  for (NodeId id = 2; id < nodes_.size(); ++id) {
+    unique_.emplace(Key{nodes_[id].var, nodes_[id].low, nodes_[id].high}, id);
+  }
+  // Every cached result may reference a freed or renumbered node: drop all.
+  ite_cache_.clear();
+  op_cache_.clear();
+
+  for (NodeId* r : roots) *r = remap[*r];
+  ++stats_.gc_runs;
+  stats_.nodes_collected += collected;
+  return collected;
 }
 
 bool Manager::eval(NodeId f, const util::BitVec& assignment) const {

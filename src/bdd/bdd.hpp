@@ -1,11 +1,27 @@
 // A reduced ordered BDD package — the substrate for the paper's cited
 // follow-up ("the implementation area was further reduced by developing a
-// BDD based constraint satisfaction approach [19]") and for exact
-// equivalence checking in verify::.
+// BDD based constraint satisfaction approach [19]"), for exact equivalence
+// checking in verify::, and for the symbolic reachability / CSC engine in
+// bdd::SymbolicStg (symbolic.hpp).
 //
 // Classic design: a global-order unique table keyed by (var, low, high),
 // hash-consed nodes addressed by index, complement-free (both terminals
 // are materialized), memoized ITE.  Node 0 = false, node 1 = true.
+//
+// Beyond the textbook core the manager carries what image computation
+// needs:
+//   * a shared operation cache (restrict / exists_cube / and_exists /
+//     rename_shift_down all memoize into one table, invalidated as a whole
+//     by garbage collection),
+//   * cube quantification (∃ over a variable set in one pass) and the
+//     relational product and_exists(f, g, cube) = ∃cube. f ∧ g, which never
+//     materializes f ∧ g,
+//   * rename_shift_down: the next-state → current-state substitution for
+//     the interleaved variable order (odd var 2i+1 ↦ even var 2i),
+//   * mark-and-sweep garbage collection over caller-registered roots, with
+//     full cache invalidation and node-id compaction,
+//   * node and operation budgets surfaced as util::LimitError so runaway
+//     fixed points fail cleanly instead of eating the machine.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +44,7 @@ class Manager {
 
   std::size_t num_vars() const { return num_vars_; }
   std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t unique_size() const { return unique_.size(); }
 
   NodeId bdd_false() const { return kFalse; }
   NodeId bdd_true() const { return kTrue; }
@@ -43,12 +60,35 @@ class Manager {
   NodeId bdd_xor(NodeId f, NodeId g) { return ite(f, bdd_not(g), g); }
   NodeId bdd_implies(NodeId f, NodeId g) { return ite(f, g, kTrue); }
 
-  /// Cofactor with respect to v = value.
+  /// Cofactor with respect to v = value.  Memoized in the shared op cache:
+  /// shared subgraphs are visited once per call, not once per path.
   NodeId restrict(NodeId f, std::uint32_t v, bool value);
+  /// Reference implementation without memoization — exponential on shared
+  /// graphs (it re-walks a subgraph once per path reaching it).  Kept only
+  /// so bench/micro_bdd can pin the win of the memoized version and tests
+  /// can cross-check results; never call it from library code.
+  NodeId restrict_nomemo(NodeId f, std::uint32_t v, bool value);
   /// ∃v. f
   NodeId exists(NodeId f, std::uint32_t v);
   /// ∀v. f
   NodeId forall(NodeId f, std::uint32_t v);
+
+  /// The positive cube x_{v1} ∧ x_{v2} ∧ … used as a quantification set.
+  NodeId cube(const std::vector<std::uint32_t>& vars);
+  /// ∃vars(cube). f — single pass, memoized per (f, cube).
+  NodeId exists_cube(NodeId f, NodeId cube);
+  /// Relational product ∃vars(cube). f ∧ g without building f ∧ g — the
+  /// quantification happens *inside* the conjunction (early quantification:
+  /// a variable disappears as soon as both cofactor pairs are combined, and
+  /// the ∨ of cofactors cuts off at the first kTrue).  Own memo entries in
+  /// the shared op cache keyed by the unordered pair {f, g} and the cube.
+  NodeId and_exists(NodeId f, NodeId g, NodeId cube);
+  /// Substitute every odd variable 2i+1 by its even partner 2i — the
+  /// next-state → current-state renaming of the interleaved order used by
+  /// the symbolic engine.  Requires (checked): whenever 2i+1 occurs in the
+  /// support of f, 2i does not occur above/below it on the same path, so
+  /// the substitution is order-preserving.
+  NodeId rename_shift_down(NodeId f);
 
   /// Evaluate under a total assignment.
   bool eval(NodeId f, const util::BitVec& assignment) const;
@@ -62,6 +102,31 @@ class Manager {
   /// Build the characteristic function of a minterm list.
   NodeId from_minterms(const std::vector<util::BitVec>& codes);
 
+  // --- budgets ----------------------------------------------------------
+  /// Abort (util::LimitError) when the node table would exceed `n` nodes.
+  /// 0 = unlimited (the default).
+  void set_max_nodes(std::size_t n) { max_nodes_ = n; }
+  /// Abort (util::LimitError) after `n` cache-miss operation steps across
+  /// all recursive ops.  0 = unlimited (the default).
+  void set_max_ops(std::uint64_t n) { max_ops_ = n; }
+
+  // --- garbage collection -----------------------------------------------
+  /// Mark-and-sweep over the given roots: every node not reachable from a
+  /// root is freed, surviving nodes are compacted (ids change!) and the
+  /// NodeIds behind the passed pointers are rewritten in place.  All other
+  /// outstanding NodeIds are invalidated, and both operation caches are
+  /// cleared.  Returns the number of collected nodes.
+  std::size_t gc(const std::vector<NodeId*>& roots);
+
+  struct Stats {
+    std::uint64_t ops = 0;              ///< cache-miss recursion steps
+    std::uint64_t cache_hits = 0;       ///< op-cache + ite-cache hits
+    std::uint64_t cache_misses = 0;     ///< op-cache + ite-cache misses
+    std::uint64_t gc_runs = 0;          ///< number of gc() calls
+    std::uint64_t nodes_collected = 0;  ///< total nodes freed across gcs
+  };
+  const Stats& stats() const { return stats_; }
+
   struct Node {
     std::uint32_t var;  // 0xFFFFFFFF for terminals
     NodeId low, high;
@@ -71,6 +136,8 @@ class Manager {
  private:
   NodeId make(std::uint32_t v, NodeId low, NodeId high);
   NodeId top_var(NodeId f, NodeId g, NodeId h) const;
+  /// Budget bookkeeping for one cache-miss expansion.
+  void tick_op();
 
   struct Key {
     std::uint32_t var;
@@ -92,11 +159,36 @@ class Manager {
       return static_cast<std::size_t>(util::hash_combine(util::hash_combine(k.f, k.g), k.h));
     }
   };
+  /// One cache for every non-ITE operation; `op` packs the opcode with its
+  /// scalar operand (variable+value for restrict), `a`/`b`/`c` hold node
+  /// operands (cubes ride in `c`).
+  struct OpKey {
+    std::uint32_t op;
+    NodeId a, b, c;
+    bool operator==(const OpKey&) const = default;
+  };
+  struct OpKeyHash {
+    std::size_t operator()(const OpKey& k) const {
+      return static_cast<std::size_t>(util::hash_combine(
+          util::hash_combine(util::hash_combine(k.op, k.a), k.b), k.c));
+    }
+  };
+  enum OpCode : std::uint32_t {
+    kOpRestrict0 = 1,  // + 4*var
+    kOpRestrict1 = 2,  // + 4*var
+    kOpExists = 3,
+    kOpAndExists = 4,
+    kOpRename = 5,
+  };
 
   std::size_t num_vars_;
   std::vector<Node> nodes_;
   std::unordered_map<Key, NodeId, KeyHash> unique_;
   std::unordered_map<IteKey, NodeId, IteKeyHash> ite_cache_;
+  std::unordered_map<OpKey, NodeId, OpKeyHash> op_cache_;
+  std::size_t max_nodes_ = 0;
+  std::uint64_t max_ops_ = 0;
+  Stats stats_;
 };
 
 }  // namespace mps::bdd

@@ -8,29 +8,6 @@
 
 namespace mps::bdd {
 
-NodeId reachable_chi(Manager& mgr, const sg::StateGraph& g) {
-  MPS_ASSERT(mgr.num_vars() == g.num_signals());
-  std::vector<util::BitVec> codes;
-  codes.reserve(g.num_states());
-  for (sg::StateId s = 0; s < g.num_states(); ++s) codes.push_back(g.code(s));
-  return mgr.from_minterms(codes);
-}
-
-bool csc_holds(Manager& mgr, const sg::StateGraph& g) {
-  MPS_ASSERT(mgr.num_vars() == g.num_signals());
-  for (sg::SignalId sig = 0; sig < g.num_signals(); ++sig) {
-    if (g.is_input(sig)) continue;
-    std::vector<util::BitVec> on_codes, off_codes;
-    for (sg::StateId s = 0; s < g.num_states(); ++s) {
-      (logic::implied_value(g, s, sig) ? on_codes : off_codes).push_back(g.code(s));
-    }
-    const NodeId on = mgr.from_minterms(on_codes);
-    const NodeId off = mgr.from_minterms(off_codes);
-    if (mgr.bdd_and(on, off) != mgr.bdd_false()) return false;
-  }
-  return true;
-}
-
 bool cover_matches_spec(Manager& mgr, const logic::SopSpec& spec, const logic::Cover& cover) {
   MPS_ASSERT(mgr.num_vars() == spec.num_vars && cover.num_vars() == spec.num_vars);
   const NodeId f = mgr.from_cover(cover);
@@ -44,6 +21,7 @@ bool cover_matches_spec(Manager& mgr, const logic::SopSpec& spec, const logic::C
 
 std::optional<std::vector<bool>> solve_cnf_bdd(const sat::Cnf& cnf, std::size_t max_nodes) {
   Manager mgr(cnf.num_vars());
+  mgr.set_max_nodes(max_nodes);
   NodeId f = mgr.bdd_true();
   // Conjoin clauses sorted by their maximum variable: keeps the live
   // frontier narrow under the natural (state-major) variable order the
@@ -64,10 +42,6 @@ std::optional<std::vector<bool>> solve_cnf_bdd(const sat::Cnf& cnf, std::size_t 
     }
     f = mgr.bdd_and(f, clause);
     if (f == mgr.bdd_false()) return std::nullopt;
-    if (mgr.num_nodes() > max_nodes) {
-      throw util::LimitError("solve_cnf_bdd: BDD exceeded " + std::to_string(max_nodes) +
-                             " nodes");
-    }
   }
   util::BitVec model;
   if (!mgr.pick_model(f, &model)) return std::nullopt;

@@ -14,13 +14,10 @@
 
 namespace mps::bdd {
 
-/// Characteristic function of the reachable codes of `g`.
-NodeId reachable_chi(Manager& mgr, const sg::StateGraph& g);
-
-/// CSC check via characteristic functions: for each non-input signal s,
-/// build chi of the states implying F_s = 1 and of those implying F_s = 0;
-/// CSC holds iff the two never share a code.  Returns true iff CSC holds.
-bool csc_holds(Manager& mgr, const sg::StateGraph& g);
+// The enumeration-backed reachable_chi / csc_holds helpers that used to
+// live here (building characteristic functions *from* an explicit state
+// graph) are gone: SymbolicStg (symbolic.hpp) computes both directly from
+// the STG without ever enumerating states.
 
 /// Exact equivalence of a minimized cover against its ON/OFF specification
 /// modulo don't-cares:  ON ⊆ cover ⊆ ¬OFF.

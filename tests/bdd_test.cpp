@@ -2,6 +2,7 @@
 
 #include "bdd/bdd.hpp"
 #include "bdd/csc_bdd.hpp"
+#include "bdd/symbolic.hpp"
 #include "core/synthesis.hpp"
 #include "sat/solver.hpp"
 #include "logic/minimize.hpp"
@@ -126,7 +127,128 @@ TEST(Bdd, SharingKeepsNodeCountSmall) {
   EXPECT_DOUBLE_EQ(mgr.sat_count(f), 512.0);
 }
 
-TEST(CscBdd, ReachableChi) {
+/// A pseudo-random function over `nv` variables, distinct per seed.
+NodeId random_function(Manager& mgr, std::uint32_t nv, std::uint32_t seed) {
+  mps::util::Rng rng(seed);
+  std::vector<BitVec> minterms;
+  for (int i = 0; i < 12; ++i) {
+    BitVec m(nv);
+    for (std::uint32_t v = 0; v < nv; ++v) m.set(v, rng.chance(0.5));
+    minterms.push_back(m);
+  }
+  return mgr.from_minterms(minterms);
+}
+
+TEST(BddQuantify, CubeMatchesIteratedExists) {
+  Manager mgr(6);
+  for (std::uint32_t seed = 0; seed < 10; ++seed) {
+    const NodeId f = random_function(mgr, 6, seed);
+    const NodeId via_cube = mgr.exists_cube(f, mgr.cube({1, 3, 4}));
+    NodeId iterated = f;
+    for (const std::uint32_t v : {1u, 3u, 4u}) iterated = mgr.exists(iterated, v);
+    EXPECT_EQ(via_cube, iterated) << "seed " << seed;
+  }
+}
+
+TEST(BddQuantify, ExistsDistributesOverOr) {
+  Manager mgr(6);
+  const NodeId f = random_function(mgr, 6, 1);
+  const NodeId g = random_function(mgr, 6, 2);
+  const NodeId c = mgr.cube({0, 2, 5});
+  EXPECT_EQ(mgr.exists_cube(mgr.bdd_or(f, g), c),
+            mgr.bdd_or(mgr.exists_cube(f, c), mgr.exists_cube(g, c)));
+}
+
+TEST(BddQuantify, AndExistsMatchesConjoinThenQuantify) {
+  Manager mgr(8);
+  for (std::uint32_t seed = 0; seed < 10; ++seed) {
+    const NodeId f = random_function(mgr, 8, 3 * seed);
+    const NodeId g = random_function(mgr, 8, 3 * seed + 1);
+    const NodeId c = mgr.cube({0, 1, 4, 6});
+    EXPECT_EQ(mgr.and_exists(f, g, c), mgr.exists_cube(mgr.bdd_and(f, g), c))
+        << "seed " << seed;
+    EXPECT_EQ(mgr.and_exists(f, g, c), mgr.and_exists(g, f, c));  // commutes
+    EXPECT_EQ(mgr.and_exists(f, g, kTrue), mgr.bdd_and(f, g));    // empty cube
+  }
+}
+
+TEST(BddQuantify, RenameShiftDown) {
+  Manager mgr(8);
+  // f over next variables {1, 3, 7} only; renaming maps it onto {0, 2, 6}.
+  const NodeId f =
+      mgr.bdd_or(mgr.bdd_and(mgr.var(1), mgr.nvar(3)), mgr.bdd_and(mgr.var(3), mgr.var(7)));
+  const NodeId expected =
+      mgr.bdd_or(mgr.bdd_and(mgr.var(0), mgr.nvar(2)), mgr.bdd_and(mgr.var(2), mgr.var(6)));
+  EXPECT_EQ(mgr.rename_shift_down(f), expected);
+  EXPECT_EQ(mgr.rename_shift_down(kTrue), kTrue);
+  // Functions already over even variables pass through unchanged.
+  EXPECT_EQ(mgr.rename_shift_down(expected), expected);
+}
+
+TEST(BddRestrict, MemoizedMatchesReference) {
+  Manager mgr(8);
+  for (std::uint32_t seed = 0; seed < 10; ++seed) {
+    const NodeId f = random_function(mgr, 8, seed);
+    for (std::uint32_t v = 0; v < 8; ++v) {
+      EXPECT_EQ(mgr.restrict(f, v, true), mgr.restrict_nomemo(f, v, true));
+      EXPECT_EQ(mgr.restrict(f, v, false), mgr.restrict_nomemo(f, v, false));
+    }
+  }
+}
+
+TEST(BddGc, KeepsLiveRootsAndCollectsGarbage) {
+  Manager mgr(10);
+  NodeId keep = random_function(mgr, 10, 7);
+  // Record the full truth table so the post-GC (re-numbered) root can be
+  // checked semantically.
+  std::vector<bool> truth(1024);
+  for (std::uint32_t x = 0; x < 1024; ++x) {
+    BitVec a(10);
+    for (std::uint32_t v = 0; v < 10; ++v) a.set(v, (x >> v) & 1);
+    truth[x] = mgr.eval(keep, a);
+  }
+  for (std::uint32_t seed = 100; seed < 120; ++seed) random_function(mgr, 10, seed);
+  const std::size_t before = mgr.num_nodes();
+  std::vector<NodeId*> roots{&keep};
+  const std::size_t collected = mgr.gc(roots);
+  EXPECT_GT(collected, 0u);
+  EXPECT_EQ(mgr.num_nodes(), before - collected);
+  EXPECT_EQ(mgr.stats().gc_runs, 1u);
+  for (std::uint32_t x = 0; x < 1024; ++x) {
+    BitVec a(10);
+    for (std::uint32_t v = 0; v < 10; ++v) a.set(v, (x >> v) & 1);
+    EXPECT_EQ(mgr.eval(keep, a), truth[x]) << x;
+  }
+  // The manager keeps working after compaction: fresh ops, fresh caches.
+  EXPECT_EQ(mgr.bdd_and(keep, mgr.bdd_not(keep)), kFalse);
+}
+
+TEST(BddBudget, NodeLimitThrows) {
+  Manager mgr(64);
+  mgr.set_max_nodes(24);
+  EXPECT_THROW(
+      {
+        NodeId f = kFalse;
+        for (std::uint32_t v = 0; v < 64; ++v) f = mgr.bdd_xor(f, mgr.var(v));
+      },
+      mps::util::LimitError);
+}
+
+TEST(BddBudget, OpLimitThrows) {
+  Manager mgr(32);
+  NodeId f = kFalse;
+  for (std::uint32_t v = 0; v < 32; ++v) f = mgr.bdd_xor(f, mgr.var(v));
+  mgr.set_max_ops(8);
+  EXPECT_THROW(
+      {
+        // Fresh structure so the ite cache cannot answer from memory.
+        const NodeId g = random_function(mgr, 32, 9);
+        mgr.bdd_and(f, g);
+      },
+      mps::util::LimitError);
+}
+
+TEST(SymbolicStg, ReachableCodesMatchExplicit) {
   const auto stg = mps::stg::Builder("hs")
                        .inputs({"r"})
                        .outputs({"a"})
@@ -135,24 +257,24 @@ TEST(CscBdd, ReachableChi) {
                        .token("a-", "r+")
                        .build();
   const auto g = mps::sg::StateGraph::from_stg(stg);
-  Manager mgr(g.num_signals());
-  const NodeId chi = reachable_chi(mgr, g);
-  EXPECT_DOUBLE_EQ(mgr.sat_count(chi), 4.0);  // 4 distinct codes
+  SymbolicStg sym(stg);
+  EXPECT_DOUBLE_EQ(sym.num_states(), static_cast<double>(g.num_states()));
   for (mps::sg::StateId s = 0; s < g.num_states(); ++s) {
-    EXPECT_TRUE(mgr.eval(chi, g.code(s)));
+    EXPECT_TRUE(sym.code_reachable(g.code(s)));
   }
 }
 
-TEST(CscBdd, DetectsViolationAndSatisfaction) {
+TEST(SymbolicStg, DetectsViolationAndSatisfaction) {
   const auto bad = mps::stg::Builder("toggle")
                        .outputs({"x", "y"})
                        .path("x+", "x-", "y+", "y-")
                        .arc("y-", "x+")
                        .token("y-", "x+")
                        .build();
-  const auto g_bad = mps::sg::StateGraph::from_stg(bad);
-  Manager m1(g_bad.num_signals());
-  EXPECT_FALSE(csc_holds(m1, g_bad));
+  SymbolicStg sym_bad(bad);
+  EXPECT_FALSE(sym_bad.check_csc().holds);
+  // Code 11 never occurs: x and y pulse one after the other.
+  EXPECT_FALSE(sym_bad.code_reachable(code("11")));
 
   const auto good = mps::stg::Builder("hs")
                         .inputs({"r"})
@@ -161,9 +283,10 @@ TEST(CscBdd, DetectsViolationAndSatisfaction) {
                         .arc("a-", "r+")
                         .token("a-", "r+")
                         .build();
-  const auto g_good = mps::sg::StateGraph::from_stg(good);
-  Manager m2(g_good.num_signals());
-  EXPECT_TRUE(csc_holds(m2, g_good));
+  SymbolicStg sym_good(good);
+  const CscVerdict verdict = sym_good.check_csc();
+  EXPECT_TRUE(verdict.holds);
+  EXPECT_TRUE(verdict.conflicts.empty());
 }
 
 TEST(CscBdd, CoverMatchesSpecExactly) {

@@ -6,9 +6,12 @@
 // the completeness argument for the clause-learning machinery (learning,
 // minimization, backjumping, restarts, DB reduction) that no hand-written
 // unit test pins: any unsound learned clause or lost propagation shows up
-// as an outcome mismatch or a model that fails satisfied_by().
+// as an outcome mismatch or a model that fails satisfied_by().  A fourth
+// decider — the BDD characteristic-function solver — is exact and complete,
+// so it must agree on *every* instance it finishes within its node budget.
 #include <gtest/gtest.h>
 
+#include "bdd/csc_bdd.hpp"
 #include "sat/cnf.hpp"
 #include "sat/local_search.hpp"
 #include "sat/solver.hpp"
@@ -68,6 +71,20 @@ void check_instance(const Cnf& cnf, int tag, std::int64_t cdcl_restart_interval)
   const EngineRun dpll = run_engine(cnf, Engine::Dpll);
   const EngineRun cdcl = run_engine(cnf, Engine::Cdcl, cdcl_restart_interval);
   ASSERT_EQ(dpll.outcome, cdcl.outcome) << "engines disagree on instance " << tag;
+  // The BDD engine is exact: whenever it completes under the node budget,
+  // its Sat/Unsat verdict must match the search engines and its model must
+  // check out.  Budget hits are skipped, not failures — exhaustion is the
+  // documented contract (callers fall back to DPLL).
+  try {
+    const auto bdd_model = mps::bdd::solve_cnf_bdd(cnf, /*max_nodes=*/200'000);
+    EXPECT_EQ(bdd_model.has_value(), dpll.outcome == Outcome::Sat)
+        << "BDD engine disagrees on instance " << tag;
+    if (bdd_model.has_value()) {
+      EXPECT_TRUE(cnf.satisfied_by(*bdd_model)) << "BDD model invalid, instance " << tag;
+    }
+  } catch (const mps::util::LimitError&) {
+    // Node budget exceeded — no verdict to compare.
+  }
   if (dpll.outcome == Outcome::Sat) {
     EXPECT_TRUE(cnf.satisfied_by(dpll.model)) << "DPLL model invalid, instance " << tag;
     EXPECT_TRUE(cnf.satisfied_by(cdcl.model)) << "CDCL model invalid, instance " << tag;
